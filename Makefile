@@ -1,0 +1,25 @@
+# Convenience targets for the mobile-object indexing reproduction.
+
+.PHONY: install test bench figures examples results clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro figures
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+results:
+	python -m repro collect-results -o benchmarks/results/ALL.txt
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

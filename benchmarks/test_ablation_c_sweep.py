@@ -1,0 +1,70 @@
+"""Ablation for §3.5.2: the observation-index count ``c``.
+
+Equation (2) bounds the approximation's wasted dual-plane area by
+``(1/2) ((vmax - vmin)/(vmin vmax))^2 (y_max / c)`` — inversely
+proportional to ``c``.  This bench measures the actual fetched-vs-exact
+record counts for sub-subterrain queries across ``c`` and checks the
+measured waste falls as the bound promises, while update I/O climbs
+linearly in ``c`` (Lemma 1's ``O(c log_B n)``).
+"""
+
+from repro.bench import Table
+from repro.core import LinearMotion1D, MobileObject1D
+from repro.indexes import HoughYForestIndex
+from repro.workloads import SMALL_QUERIES, WorkloadGenerator
+
+from conftest import B_BPTREE, save_table
+
+C_VALUES = [2, 4, 8, 16]
+N = 3000
+
+
+def run_c_sweep():
+    gen = WorkloadGenerator(seed=7)
+    objects = gen.initial_population(N)
+    queries = [gen.query(SMALL_QUERIES, now=40.0) for _ in range(150)]
+    table = Table(
+        headers=["c", "fetched", "exact", "waste", "update_io", "pages"]
+    )
+    for c in C_VALUES:
+        forest = HoughYForestIndex(gen.model, c=c, leaf_capacity=B_BPTREE)
+        for obj in objects:
+            forest.insert(obj)
+        fetched = exact = 0
+        for query in queries:
+            f, e = forest.approximation_overhead(query)
+            fetched += f
+            exact += e
+        snap = forest.snapshot()
+        for obj in objects[:150]:
+            forest.update(
+                MobileObject1D(
+                    obj.oid, LinearMotion1D(500.0, 1.0, 60.0)
+                )
+            )
+        update_io = forest.io_cost_since(snap) / 150
+        table.rows.append(
+            [
+                c,
+                fetched,
+                exact,
+                round((fetched - exact) / max(exact, 1), 2),
+                round(update_io, 2),
+                forest.pages_in_use,
+            ]
+        )
+    return table
+
+
+def test_c_sweep_tradeoff(benchmark):
+    table = benchmark.pedantic(run_c_sweep, rounds=1, iterations=1)
+    print(save_table("ablation_c_sweep", table, "Ablation: observation-index count c"))
+    waste = table.column("waste")
+    update = table.column("update_io")
+    pages = table.column("pages")
+    # The eq. (2) tradeoff: waste shrinks monotonically with c...
+    assert waste[-1] < waste[0]
+    assert all(b <= a * 1.1 for a, b in zip(waste, waste[1:]))
+    # ...while update cost and space grow with c.
+    assert update[-1] > update[0]
+    assert pages == sorted(pages)

@@ -1,0 +1,67 @@
+"""Ablation: velocity clustering of the forest (paper §7).
+
+"One idea is to cluster similarly moving objects into representative
+clusters."  Splitting the speed band into sub-bands shrinks each
+forest's eq.-(1) spread factor quadratically.  This bench sweeps the
+band count and charts fetched-vs-exact records, per-query I/O and the
+space/update price of the extra structures.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.core import LinearMotion1D, MobileObject1D
+from repro.extensions import VelocityBandForestIndex
+from repro.workloads import SMALL_QUERIES, WorkloadGenerator
+
+from conftest import B_BPTREE, save_table
+
+N = 3000
+BANDS = [1, 2, 4, 8]
+
+
+def run_band_sweep():
+    gen = WorkloadGenerator(seed=31)
+    objects = gen.initial_population(N)
+    queries = [gen.query(SMALL_QUERIES, now=40.0) for _ in range(120)]
+    table = Table(
+        headers=["bands", "fetched", "exact", "waste", "query_io", "pages"]
+    )
+    for bands in BANDS:
+        index = VelocityBandForestIndex(
+            gen.model, bands=bands, c=4, leaf_capacity=B_BPTREE
+        )
+        for obj in objects:
+            index.insert(obj)
+        fetched = exact = 0
+        total_io = 0
+        for query in queries:
+            f, e = index.approximation_overhead(query)
+            fetched += f
+            exact += e
+            index.clear_buffers()
+            snap = index.snapshot()
+            index.query(query)
+            total_io += index.io_cost_since(snap)
+        table.rows.append(
+            [
+                bands,
+                fetched,
+                exact,
+                round((fetched - exact) / max(exact, 1), 2),
+                round(total_io / len(queries), 1),
+                index.pages_in_use,
+            ]
+        )
+    return table
+
+
+def test_velocity_clustering_tradeoff(benchmark):
+    table = benchmark.pedantic(run_band_sweep, rounds=1, iterations=1)
+    print(save_table("ablation_clustering", table,
+                     "Ablation: velocity-band clustering of the forest"))
+    waste = table.column("waste")
+    # More bands -> strictly less approximation waste (the §7 clustering
+    # payoff), by a large factor across the sweep.
+    assert all(b < a for a, b in zip(waste, waste[1:]))
+    assert waste[-1] < waste[0] / 4

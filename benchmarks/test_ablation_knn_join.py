@@ -1,0 +1,90 @@
+"""Ablation: the §7 future-work queries (kNN and distance join).
+
+Shows the indexed evaluations winning over full scans:
+
+* kNN via expanding MOR probes costs a handful of I/Os per query while
+  a scan pays n pages regardless of k;
+* the index-nested-loop distance join touches a band per outer object
+  instead of the full inner relation.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.extensions import (
+    KNNEngine,
+    brute_force_distance_join,
+    brute_force_knn,
+    index_distance_join,
+)
+from repro.indexes import DualKDTreeIndex, HoughYForestIndex
+from repro.workloads import WorkloadGenerator
+
+from conftest import B_BPTREE, save_table
+
+N = 3000
+
+
+def run_knn_bench():
+    gen = WorkloadGenerator(seed=61)
+    objects = gen.initial_population(N)
+    engine = KNNEngine(DualKDTreeIndex(gen.model, leaf_capacity=B_BPTREE))
+    for obj in objects:
+        engine.insert(obj)
+    scan_pages = sum(d.pages_in_use for d in engine.index.disks)
+    table = Table(headers=["k", "avg_io", "scan_pages"])
+    rng = random.Random(3)
+    for k in (1, 10, 50):
+        total = 0
+        probes = 40
+        for _ in range(probes):
+            y = rng.uniform(0, 1000)
+            t = rng.uniform(50, 100)
+            engine.index.clear_buffers()
+            snap = engine.index.snapshot()
+            got = engine.knn(y, t, k)
+            total += engine.index.io_cost_since(snap)
+            assert [o for o, _ in got] == [
+                o for o, _ in brute_force_knn(objects, y, t, k)
+            ]
+        table.rows.append([k, round(total / probes, 1), scan_pages])
+    return table
+
+
+def run_join_bench():
+    gen = WorkloadGenerator(seed=62)
+    objects = gen.initial_population(N)
+    index = HoughYForestIndex(gen.model, c=4, leaf_capacity=B_BPTREE)
+    motions = {}
+    for obj in objects:
+        index.insert(obj)
+        motions[obj.oid] = obj.motion
+    outer = objects[:60]
+    table = Table(headers=["d", "pairs", "avg_io_per_outer"])
+    for d in (1.0, 5.0):
+        index.clear_buffers()
+        snap = index.snapshot()
+        pairs = index_distance_join(
+            outer, index, motions.__getitem__, d, 60.0, 90.0
+        )
+        io = index.io_cost_since(snap)
+        expected = brute_force_distance_join(outer, objects, d, 60.0, 90.0)
+        assert pairs == expected
+        table.rows.append([d, len(pairs), round(io / len(outer), 1)])
+    return table
+
+
+def test_knn_beats_scan(benchmark):
+    table = benchmark.pedantic(run_knn_bench, rounds=1, iterations=1)
+    print(save_table("ablation_knn", table, "Ablation: kNN via expanding probes"))
+    for k, avg_io, scan_pages in table.rows:
+        assert avg_io < scan_pages / 2, f"k={k} not beating a scan"
+
+
+def test_join_beats_scan(benchmark):
+    table = benchmark.pedantic(run_join_bench, rounds=1, iterations=1)
+    print(save_table("ablation_join", table,
+                     "Ablation: index-nested-loop distance join"))
+    inner_pages = N / B_BPTREE  # lower bound on inner scan cost
+    for _, _, io_per_outer in table.rows:
+        assert io_per_outer < inner_pages

@@ -1,0 +1,74 @@
+"""Ablation for §3.6: choosing the MOR1 time limit T.
+
+"If the time limit is set too large however, all pairs of objects may
+cross, in which case the size of the data structure will be quadratic.
+It is therefore important to set the time limit appropriately so that
+only approximately a linear number of crossings occur."
+
+This bench sweeps the window over a fixed population and charts
+crossings, space and the pages-per-object ratio, exposing the knee the
+paper warns about.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.core import LinearMotion1D, MobileObject1D
+from repro.kinetic import MOR1Index
+
+from conftest import save_table
+
+N = 300
+
+
+def run_window_sweep():
+    rng = random.Random(97)
+    objects = [
+        MobileObject1D(
+            oid,
+            LinearMotion1D(
+                rng.uniform(0, 1000),
+                rng.choice([-1, 1]) * rng.uniform(0.16, 1.66),
+                0.0,
+            ),
+        )
+        for oid in range(N)
+    ]
+    all_pairs = N * (N - 1) // 2
+    table = Table(
+        headers=["T", "M", "M/all_pairs", "pages", "pages_per_object"]
+    )
+    for window in (10.0, 50.0, 250.0, 1250.0, 6250.0):
+        index = MOR1Index(
+            objects, t_start=0.0, window=window, page_capacity=16
+        )
+        m = index.crossing_count
+        table.rows.append(
+            [
+                window,
+                m,
+                round(m / all_pairs, 3),
+                index.pages_in_use,
+                round(index.pages_in_use / N, 2),
+            ]
+        )
+    return table
+
+
+def test_window_controls_space(benchmark):
+    table = benchmark.pedantic(run_window_sweep, rounds=1, iterations=1)
+    print(save_table("ablation_mor1_window", table,
+                     "Ablation: MOR1 window T vs crossings and space"))
+    fractions = table.column("M/all_pairs")
+    ratios = table.column("pages_per_object")
+    # Crossings grow monotonically with T and saturate towards all pairs.
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    # Saturation: opposite-direction pairs (~half) all cross; among
+    # same-direction pairs only the faster-behind ones do, so the curve
+    # flattens below 0.5 at T ~ T_period.
+    assert fractions[-1] > 0.4
+    assert fractions[0] < 0.05  # small windows stay near-linear
+    # Space follows: small window => a few pages per object; the huge
+    # window pays the quadratic blow-up the paper warns about.
+    assert ratios[0] < 2.0
+    assert ratios[-1] > 10 * ratios[0]

@@ -1,0 +1,112 @@
+"""Ablation for §3.4: partition-tree query cost and crossing numbers.
+
+Two measurements back the theory:
+
+* the empirical crossing number of a size-``r`` simplicial partition
+  stays within a small constant of ``√r`` (Matoušek's bound);
+* wedge-query I/O on the partition tree grows like ``√n`` — the almost
+  optimal exponent — rather than linearly.
+"""
+
+import math
+import random
+
+from repro.bench import Table
+from repro.core import MotionModel, Terrain1D, hough_x, mor_wedge
+from repro.indexes.partition_index import PartitionTreeIndex
+from repro.partition import (
+    crossing_number,
+    random_probe_lines,
+    simplicial_partition,
+)
+from repro.workloads import SMALL_QUERIES, WorkloadGenerator
+
+from conftest import save_table
+
+
+def run_crossing_numbers():
+    rng = random.Random(3)
+    entries = [
+        ((rng.uniform(0, 1000), rng.uniform(0, 1000)), i) for i in range(4000)
+    ]
+    table = Table(headers=["r", "cells", "avg_cross", "max_cross", "sqrt_r"])
+    for r in (16, 64, 256):
+        cells = simplicial_partition(entries, r)
+        probes = random_probe_lines(entries, 80, rng)
+        crossings = [crossing_number(cells, line) for line in probes]
+        table.rows.append(
+            [
+                r,
+                len(cells),
+                round(sum(crossings) / len(crossings), 1),
+                max(crossings),
+                round(math.sqrt(len(cells)), 1),
+            ]
+        )
+    return table
+
+
+def run_query_scaling():
+    """Thin queries keep the output term k = K/B tiny, exposing the
+    ``O(n^{1/2+ε})`` descent term the §3.4 analysis is about."""
+    leaf_capacity = 16
+    table = Table(
+        headers=["N", "avg_io", "avg_k", "io_minus_k", "sqrt_n_ref", "pages"]
+    )
+    for n in (500, 2000, 8000):
+        gen = WorkloadGenerator(seed=11)
+        index = PartitionTreeIndex(
+            gen.model, leaf_capacity=leaf_capacity, internal_capacity=32
+        )
+        objects = gen.initial_population(n)
+        for obj in objects:
+            index.insert(obj)
+        # 1%-style thin queries: YQMAX=10, TW=20.
+        queries = [gen.query(SMALL_QUERIES, now=30.0) for _ in range(40)]
+        total_io = 0
+        total_k = 0.0
+        for query in queries:
+            index.clear_buffers()
+            snap = index.snapshot()
+            answer = index.query(query)
+            total_io += index.io_cost_since(snap)
+            total_k += math.ceil(len(answer) / leaf_capacity)
+        pages = index.pages_in_use
+        avg_io = total_io / len(queries)
+        avg_k = total_k / len(queries)
+        table.rows.append(
+            [
+                n,
+                round(avg_io, 1),
+                round(avg_k, 1),
+                round(avg_io - avg_k, 1),
+                round(math.sqrt(pages), 1),
+                pages,
+            ]
+        )
+    return table
+
+
+def test_crossing_number_tracks_sqrt_r(benchmark):
+    table = benchmark.pedantic(run_crossing_numbers, rounds=1, iterations=1)
+    print(save_table("ablation_partition_crossing", table,
+                     "Ablation: simplicial partition crossing numbers"))
+    for row in table.rows:
+        _, cells, avg_cross, max_cross, sqrt_r = row
+        assert avg_cross <= 4.0 * sqrt_r
+        assert max_cross <= 8.0 * sqrt_r
+
+
+def test_query_io_grows_sublinearly(benchmark):
+    table = benchmark.pedantic(run_query_scaling, rounds=1, iterations=1)
+    print(save_table("ablation_partition_query", table,
+                     "Ablation: partition-tree wedge-query scaling"))
+    descent = table.column("io_minus_k")
+    sqrt_ref = table.column("sqrt_n_ref")
+    # The non-output cost must scale like sqrt(n): a 16x size increase
+    # is a 4x sqrt increase; allow up to ~2x slack on the ratio.
+    growth = descent[-1] / max(descent[0], 1.0)
+    assert growth < 8.0
+    # And stay within a constant factor of sqrt(n) at every size.
+    for d, s_ref in zip(descent, sqrt_ref):
+        assert d <= 6.0 * s_ref

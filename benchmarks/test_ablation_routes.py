@@ -1,0 +1,86 @@
+"""Ablation for §4.1: the 1.5-D route-network reduction.
+
+The paper argues the 2-D problem over a route network reduces to cheap
+1-D queries: the SAM finds the few route segments meeting the query
+rectangle and only those routes' 1-D indexes are consulted.  This bench
+builds a synthetic highway grid, populates it with vehicles, and checks
+that query I/O is far below one-probe-per-route-per-object scans and
+that queries touch only the routes the rectangle intersects.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.core import LinearMotion1D, MORQuery2D
+from repro.indexes.hough_y_forest import HoughYForestIndex
+from repro.twod import Route, RouteNetworkIndex
+
+from conftest import B_BPTREE, save_table
+
+
+def build_grid_network(lanes=6, span=1000.0):
+    """A grid of horizontal and vertical highways."""
+    routes = []
+    rid = 0
+    for i in range(lanes):
+        y = span * (i + 0.5) / lanes
+        routes.append(Route(rid, ((0.0, y), (span, y))))
+        rid += 1
+        x = span * (i + 0.5) / lanes
+        routes.append(Route(rid, ((x, 0.0), (x, span))))
+        rid += 1
+    return routes
+
+
+def run_route_bench():
+    rng = random.Random(31)
+    routes = build_grid_network()
+    network = RouteNetworkIndex(
+        routes,
+        v_min=0.16,
+        v_max=1.66,
+        index_factory=lambda m: HoughYForestIndex(
+            m, c=4, leaf_capacity=B_BPTREE
+        ),
+    )
+    n = 2400
+    for oid in range(n):
+        route = routes[rng.randrange(len(routes))]
+        s0 = rng.uniform(0, route.length)
+        v = rng.choice([-1, 1]) * rng.uniform(0.16, 1.66)
+        network.insert(oid, route.route_id, LinearMotion1D(s0, v, 0.0))
+    table = Table(headers=["box", "answer", "io"])
+    total_io = 0
+    for size in (50.0, 150.0, 400.0):
+        x1 = rng.uniform(0, 1000 - size)
+        y1 = rng.uniform(0, 1000 - size)
+        query = MORQuery2D(x1, x1 + size, y1, y1 + size, 20.0, 50.0)
+        network.clear_buffers()
+        before = network.pages_in_use  # space unaffected by queries
+        snapshot = [
+            (d, d.stats.snapshot())
+            for route_index in network._route_indexes.values()
+            for d in route_index.disks
+        ] + [(network._sam_disk, network._sam_disk.stats.snapshot())]
+        answer = network.query(query)
+        io = sum(
+            (disk.stats.snapshot() - snap).total for disk, snap in snapshot
+        )
+        total_io += io
+        table.rows.append([int(size), len(answer), io])
+        assert network.pages_in_use == before
+    return table
+
+
+def test_route_network_queries_are_local(benchmark):
+    table = benchmark.pedantic(run_route_bench, rounds=1, iterations=1)
+    print(save_table("ablation_routes", table,
+                     "Ablation: 1.5-D route network query locality"))
+    answers = table.column("answer")
+    ios = table.column("io")
+    # Bigger boxes intersect more routes and report more objects.
+    assert answers[0] < answers[-1]
+    assert ios[0] < ios[-1]
+    # A small box touches a handful of routes: far below 12 routes x
+    # full 1-D scans (each route holds ~200 objects over ~5+ leaves).
+    assert ios[0] < 60

@@ -1,0 +1,76 @@
+"""Ablation: the TPR-tree (the paper's successor) vs the paper's methods.
+
+The TPR-tree answered the paper's R-tree-compatibility question a year
+later.  This bench runs it through the same §5 scenario as the dual
+methods, charting the lineage:
+
+* TPR updates are mid-priced (one R-tree path, no c-fold duplication);
+* TPR queries sit between the baseline and the dual methods: bounds
+  grow between touches, so pruning weakens with staleness — the price
+  of never leaving the primal space.
+"""
+
+from repro.bench import Table, run_sweep
+from repro.indexes import (
+    DualKDTreeIndex,
+    HoughYForestIndex,
+    SegmentRTreeIndex,
+    TPRTreeIndex,
+)
+from repro.workloads import LARGE_QUERIES
+
+from conftest import B_BPTREE, B_RSTAR, save_table
+
+SIZES = [1000, 2000]
+
+
+def run_tpr_comparison():
+    methods = {
+        "tpr-tree": lambda m: TPRTreeIndex(m, page_capacity=B_RSTAR),
+        "dual-kdtree": lambda m: DualKDTreeIndex(m, leaf_capacity=B_BPTREE),
+        "forest-c4": lambda m: HoughYForestIndex(m, c=4, leaf_capacity=B_BPTREE),
+        "segment-rstar": lambda m: SegmentRTreeIndex(m, page_capacity=B_RSTAR),
+    }
+    sweep = run_sweep(
+        methods,
+        sizes=SIZES,
+        query_class=LARGE_QUERIES,
+        ticks=40,
+        query_instants=5,
+        queries_per_instant=20,
+        update_rate=0.002,
+        seed=42,
+    )
+    table = Table(
+        headers=["N", "method", "query_io", "update_io", "pages"]
+    )
+    for n in SIZES:
+        for name in methods:
+            result = sweep.get(name, n)
+            table.rows.append(
+                [
+                    n,
+                    name,
+                    round(result.avg_query_io, 1),
+                    round(result.avg_update_io, 1),
+                    result.space_pages,
+                ]
+            )
+    return table
+
+
+def test_tpr_sits_in_the_lineage(benchmark):
+    table = benchmark.pedantic(run_tpr_comparison, rounds=1, iterations=1)
+    print(save_table("ablation_tpr", table,
+                     "Ablation: TPR-tree vs the paper's methods"))
+    rows = {(r[0], r[1]): r for r in table.rows}
+    for n in SIZES:
+        tpr_q = rows[(n, "tpr-tree")][2]
+        seg_q = rows[(n, "segment-rstar")][2]
+        # The TPR-tree crushes the segment baseline on queries...
+        assert tpr_q < seg_q
+        # ...and its updates stay single-structure cheap (below the
+        # forest's c-fold work).
+        assert rows[(n, "tpr-tree")][3] < rows[(n, "forest-c4")][3]
+        # Space is linear and single-copy (same league as kd).
+        assert rows[(n, "tpr-tree")][4] < rows[(n, "forest-c4")][4]

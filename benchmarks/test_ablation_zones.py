@@ -1,0 +1,99 @@
+"""Ablation: speed-limited zones (§7 generalization of the 1.5-D idea).
+
+Per-zone forests carry the zone's tighter speed band, so the eq.-(1)
+spread factor — and with it the rectangle approximation's waste —
+shrinks for queries over slow zones.  Compares a zoned index against a
+single full-band forest on a highway/city/highway terrain.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.core import MORQuery1D
+from repro.extensions import SpeedZones, ZonedForestIndex
+from repro.core import LinearMotion1D, MobileObject1D
+
+from conftest import B_BPTREE, save_table
+
+N = 3000
+
+ZONES = SpeedZones(
+    y_max=1000.0,
+    boundaries=(400.0, 600.0),
+    limits=(1.66, 0.40, 1.66),
+    v_min=0.16,
+)
+FLAT = SpeedZones(y_max=1000.0, boundaries=(), limits=(1.66,), v_min=0.16)
+
+
+def population(rng, n):
+    objects = []
+    for oid in range(n):
+        y0 = rng.uniform(0, 1000)
+        speed = rng.uniform(ZONES.v_min, ZONES.limit_of(y0))
+        direction = 1 if rng.random() < 0.5 else -1
+        objects.append(
+            MobileObject1D(oid, LinearMotion1D(y0, direction * speed, 0.0))
+        )
+    return objects
+
+
+def run_zone_bench():
+    rng = random.Random(103)
+    objects = population(rng, N)
+    zoned = ZonedForestIndex(ZONES, c=4, leaf_capacity=B_BPTREE)
+    flat = ZonedForestIndex(FLAT, c=4, leaf_capacity=B_BPTREE)
+    for obj in objects:
+        zoned.insert(obj)
+        flat.insert(obj)
+    table = Table(
+        headers=["variant", "region", "avg_io", "fetched", "exact"]
+    )
+    regions = {
+        "city": (420.0, 580.0),
+        "highway": (650.0, 990.0),
+    }
+    for name, index in (("zoned", zoned), ("flat", flat)):
+        for region, (lo, hi) in regions.items():
+            total_io = fetched = exact = 0
+            probes = 40
+            for _ in range(probes):
+                y1 = rng.uniform(lo, hi - 30)
+                t1 = rng.uniform(5, 30)
+                query = MORQuery1D(y1, y1 + 30, t1, t1 + 20)
+                index.clear_buffers()
+                snap = index.snapshot()
+                index.query(query)
+                total_io += index.io_cost_since(snap)
+                for forest in index._forests:
+                    f, e = forest.approximation_overhead(query)
+                    fetched += f
+                    exact += e
+            table.rows.append(
+                [name, region, round(total_io / probes, 1), fetched, exact]
+            )
+    return table
+
+
+def test_zoned_bands_cut_city_waste(benchmark):
+    table = benchmark.pedantic(run_zone_bench, rounds=1, iterations=1)
+    print(save_table("ablation_zones", table,
+                     "Ablation: speed-limited zones vs a flat band"))
+    rows = {(r[0], r[1]): r for r in table.rows}
+    zoned_city_waste = rows[("zoned", "city")][3] - rows[("zoned", "city")][4]
+    flat_city_waste = rows[("flat", "city")][3] - rows[("flat", "city")][4]
+    # The zoned index is never worse on city queries -- but the measured
+    # benefit is modest (~7%): most candidates for a city-region query
+    # are *highway-zone* objects travelling towards it, and those live
+    # in full-band forests either way.  The per-band E reduction itself
+    # is analytic and large; the dilution is a genuine finding recorded
+    # in EXPERIMENTS.md.
+    assert zoned_city_waste <= flat_city_waste
+    from repro.core import approximation_area_bound
+
+    city_bound = approximation_area_bound(0.16, 0.40, 1000.0, 4)
+    flat_bound = approximation_area_bound(0.16, 1.66, 1000.0, 4)
+    assert city_bound < flat_bound / 2
+    # Answers are identical; the zoned index also must not be worse on
+    # the highway region by more than a little structural overhead.
+    assert rows[("zoned", "highway")][2] <= rows[("flat", "highway")][2] * 1.5

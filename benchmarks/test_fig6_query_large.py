@@ -1,0 +1,29 @@
+"""Figure 6: average I/Os per query, 10% query class, N sweep.
+
+Paper's shape: the trajectory-segment R*-tree is clearly worst; the
+kd-method and the B+-forest approximation are comparable, with the
+forest "slightly better" for large queries.  All grow with N.
+"""
+
+
+def test_fig6_query_io_large(benchmark, large_query_sweep, table_saver):
+
+    def build_table():
+        return large_query_sweep.metric_table("avg_query_io")
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print(table_saver("fig6_query_io_10pct", table, "Figure 6: query I/O (10% queries)"))
+
+    segment = table.column("segment-rstar")
+    kd = table.column("dual-kdtree")
+    forest = table.column("forest-c4")
+    for seg_io, kd_io, forest_io in zip(segment, kd, forest):
+        # The baseline loses clearly at every size...
+        assert seg_io > 1.5 * kd_io
+        assert seg_io > 1.5 * forest_io
+        # ...while the two practical methods are in the same league.
+        assert forest_io < 2.0 * kd_io
+    # Query cost grows with N for every method (more answers to report).
+    for method in ("segment-rstar", "dual-kdtree", "forest-c4"):
+        col = table.column(method)
+        assert col[-1] > col[0]

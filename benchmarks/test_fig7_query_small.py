@@ -1,0 +1,24 @@
+"""Figure 7: average I/Os per query, 1% query class, N sweep.
+
+Paper's shape: "the approximation method outperforms the hBΠ-tree for
+small queries"; the segment baseline remains worst.
+"""
+
+
+def test_fig7_query_io_small(benchmark, small_query_sweep, table_saver):
+
+    def build_table():
+        return small_query_sweep.metric_table("avg_query_io")
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print(table_saver("fig7_query_io_1pct", table, "Figure 7: query I/O (1% queries)"))
+
+    segment = table.column("segment-rstar")
+    kd = table.column("dual-kdtree")
+    forest8 = table.column("forest-c8")
+    for seg_io, kd_io, f8_io in zip(segment, kd, forest8):
+        assert seg_io > 2.0 * kd_io  # baseline clearly worst
+        assert f8_io < kd_io  # the paper's headline: forest wins small queries
+    # More observation indexes help small queries (smaller E).
+    forest4 = table.column("forest-c4")
+    assert sum(forest8) <= sum(forest4) * 1.05

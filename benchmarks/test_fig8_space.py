@@ -1,0 +1,34 @@
+"""Figure 8: space consumption (pages) vs N.
+
+Paper's shape: every method is linear in N; the kd point method is most
+compact (objects stored once, well clustered); the approximation forest
+pays a factor ~c for its c observation indexes; the segment R*-tree
+sits in between.
+"""
+
+
+def test_fig8_space(benchmark, large_query_sweep, table_saver, sizes):
+
+    def build_table():
+        return large_query_sweep.metric_table("space_pages")
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print(table_saver("fig8_space", table, "Figure 8: space (pages)"))
+
+    kd = table.column("dual-kdtree")
+    seg = table.column("segment-rstar")
+    f4 = table.column("forest-c4")
+    f6 = table.column("forest-c6")
+    f8 = table.column("forest-c8")
+    for i in range(len(sizes)):
+        # kd stores each object once: most compact.
+        assert kd[i] <= seg[i]
+        assert kd[i] < f4[i]
+        # Forest space grows with c.
+        assert f4[i] < f6[i] < f8[i]
+    # Linearity: doubling N roughly doubles pages (within 40%).
+    for method in table.headers[1:]:
+        col = table.column(method)
+        ratio = col[-1] / col[0]
+        expected = sizes[-1] / sizes[0]
+        assert 0.6 * expected <= ratio <= 1.4 * expected

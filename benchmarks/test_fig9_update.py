@@ -1,0 +1,35 @@
+"""Figure 9: average I/Os per update vs N.
+
+Paper's shape: the segment R*-tree is by far the worst (">90 I/Os per
+update", omitted from their plot) and degrades with N, because deleting
+a long segment means descending through heavily overlapping MBRs.  The
+kd method is cheapest and flat; the forest pays a factor ~c (it touches
+c observation trees plus subterrain interval indexes) but stays flat in
+N, matching the paper's "remain constant for different numbers of
+mobile objects".
+"""
+
+
+def test_fig9_update_io(benchmark, large_query_sweep, table_saver, sizes):
+
+    def build_table():
+        return large_query_sweep.metric_table("avg_update_io")
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print(table_saver("fig9_update_io", table, "Figure 9: update I/O"))
+
+    seg = table.column("segment-rstar")
+    kd = table.column("dual-kdtree")
+    f4 = table.column("forest-c4")
+    f8 = table.column("forest-c8")
+    # kd is the cheapest updater at every size.
+    for i in range(len(sizes)):
+        assert kd[i] < f4[i]
+        assert kd[i] < seg[i]
+        # Forest update work scales with c.
+        assert f4[i] < f8[i]
+    # Segment R*-tree update cost grows with N; kd and forest stay flat
+    # (within 2x across a 4x size sweep, vs the baseline's steady climb).
+    assert seg[-1] > 1.3 * seg[0]
+    assert kd[-1] < 2.0 * kd[0]
+    assert f4[-1] < 2.0 * f4[0]

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Mobile communications: bandwidth pre-allocation for moving phones.
+
+The paper's second motivating domain: "In mobile communications we can
+allocate more bandwidth for areas where high concentration of mobile
+phones is approaching."  Phones move freely on a 100x100 km plane
+(the general 2-D problem, §4.2); cells are a 10x10 grid.  For every
+cell we ask the 4-D dual kd-tree how many phones will be inside it
+10-20 minutes from now and flag the cells needing extra capacity.
+
+The example also shows the restricted §3.6 structure: once a dispatch
+window is fixed, the MOR1 index answers *instant* queries ("exactly at
+t") in a handful of I/Os.
+
+Run:  python examples/mobile_cells.py
+"""
+
+import random
+
+from repro import (
+    LinearMotion1D,
+    LinearMotion2D,
+    MOR1Query,
+    MobileObject1D,
+    MobileObject2D,
+    MORQuery2D,
+    PlanarKDTreeIndex,
+    PlanarModel,
+    StaggeredMOR1Index,
+    Terrain2D,
+)
+
+PHONES = 2000
+SPAN = 100.0  # km
+GRID = 10
+NOW = 0.0
+HOT_THRESHOLD = 32  # phones per cell
+
+
+def main() -> None:
+    rng = random.Random(99)
+    model = PlanarModel(Terrain2D(SPAN, SPAN), v_max=1.5)
+    index = PlanarKDTreeIndex(model)
+
+    phones = []
+    for oid in range(PHONES):
+        motion = LinearMotion2D(
+            x0=rng.uniform(0, SPAN),
+            y0=rng.uniform(0, SPAN),
+            vx=rng.uniform(-1.5, 1.5),
+            vy=rng.uniform(-1.5, 1.5),
+            t0=NOW,
+        )
+        phones.append(MobileObject2D(oid, motion))
+        index.insert(phones[-1])
+    print(f"indexed {len(index)} phones in the 4-D dual kd-tree "
+          f"({index.pages_in_use} pages)\n")
+
+    # Forecast per-cell load for the 10-20 minute horizon.
+    cell = SPAN / GRID
+    hot = []
+    for i in range(GRID):
+        for j in range(GRID):
+            query = MORQuery2D(
+                i * cell, (i + 1) * cell, j * cell, (j + 1) * cell,
+                NOW + 10.0, NOW + 20.0,
+            )
+            load = len(index.query(query))
+            if load > HOT_THRESHOLD:
+                hot.append((i, j, load))
+    print(f"cells needing extra bandwidth in [t+10, t+20] "
+          f"(load > {HOT_THRESHOLD}):")
+    for i, j, load in sorted(hot, key=lambda h: -h[2])[:8]:
+        print(f"  cell ({i},{j}): {load} phones approaching")
+    if not hot:
+        print("  none — capacity is fine everywhere")
+
+    # Dispatchers also need instant snapshots along one corridor: use
+    # the restricted MOR1 structure over the x-projection of the fleet.
+    corridor = [
+        MobileObject1D(p.oid, LinearMotion1D(p.motion.x0, p.motion.vx, NOW))
+        for p in phones
+        if abs(p.motion.vx) > 0.05  # the MOR1 structure tracks movers
+    ]
+    mor1 = StaggeredMOR1Index(corridor, t0=NOW, window=15.0)
+    for t in (NOW + 2.0, NOW + 9.0, NOW + 14.0):
+        snapshot = mor1.query(MOR1Query(40.0, 60.0, t))
+        print(f"phones with x in [40, 60] km at exactly t={t:4.1f}: "
+              f"{len(snapshot)}")
+    structure = mor1.structure_for(NOW + 5.0)
+    print(f"\nMOR1 window [0, 15]: {structure.crossing_count} crossings, "
+          f"{structure.pages_in_use} pages "
+          "(Theorem 2: O(n + m) space, log-time instant queries)")
+
+
+if __name__ == "__main__":
+    main()

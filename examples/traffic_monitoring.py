@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Traffic monitoring: detect future congestion on a highway.
+
+The paper's opening motivation: "in databases that track cars in a
+highway system, we can detect future congestion areas."  This example
+simulates a fleet on a 1000-mile highway with the §5 workload
+generator, then slides a congestion probe over the highway asking, for
+each 50-mile stretch, how many vehicles will occupy it 30-60 minutes
+from now — comparing the practical methods' I/O bills along the way.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+from repro import (
+    DualKDTreeIndex,
+    HoughYForestIndex,
+    MORQuery1D,
+    SegmentRTreeIndex,
+)
+from repro.workloads import WorkloadGenerator
+
+FLEET_SIZE = 3000
+NOW = 120.0
+CONGESTION_THRESHOLD = 220  # vehicles per 50-mile stretch
+
+
+def main() -> None:
+    generator = WorkloadGenerator(seed=2024)
+    model = generator.model
+    fleet = generator.initial_population(FLEET_SIZE, t0=0.0)
+
+    indexes = {
+        "hough-y forest (c=4)": HoughYForestIndex(model, c=4),
+        "dual kd-tree": DualKDTreeIndex(model),
+        "segment R*-tree": SegmentRTreeIndex(model),
+    }
+    for name, index in indexes.items():
+        for vehicle in fleet:
+            index.insert(vehicle)
+        print(f"built {name:22s} {index.pages_in_use:5d} pages")
+
+    # Slide a 50-mile congestion probe over the terrain and ask about
+    # the 30-60 minute horizon.
+    print(f"\ncongestion forecast for t in [{NOW + 30:.0f}, {NOW + 60:.0f}] "
+          f"(threshold {CONGESTION_THRESHOLD} vehicles / 50 mi):")
+    forest = indexes["hough-y forest (c=4)"]
+    hot_spots = []
+    for start in range(0, 1000, 50):
+        probe = MORQuery1D(float(start), float(start + 50),
+                           NOW + 30.0, NOW + 60.0)
+        count = len(forest.query(probe))
+        marker = " <== congestion" if count > CONGESTION_THRESHOLD else ""
+        if count > CONGESTION_THRESHOLD:
+            hot_spots.append((start, count))
+        print(f"  miles {start:4d}-{start + 50:4d}: {count:4d} vehicles{marker}")
+    if not hot_spots:
+        print("  (no stretch crosses the congestion threshold)")
+
+    # Compare what the same probes cost each method in page accesses.
+    print("\nI/O bill for the full 20-probe sweep:")
+    for name, index in indexes.items():
+        index.clear_buffers()
+        snapshot = index.snapshot()
+        for start in range(0, 1000, 50):
+            probe = MORQuery1D(float(start), float(start + 50),
+                               NOW + 30.0, NOW + 60.0)
+            index.clear_buffers()  # paper protocol: cold buffer per query
+            index.query(probe)
+        print(f"  {name:22s} {index.io_cost_since(snapshot):6d} page I/Os")
+
+    # Answers agree across methods, as they must.
+    probe = MORQuery1D(400.0, 450.0, NOW + 30.0, NOW + 60.0)
+    answers = {name: idx.query(probe) for name, idx in indexes.items()}
+    assert len({frozenset(a) for a in answers.values()}) == 1
+    print("\nall methods agree on the answers (exact MOR semantics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro figures            # Figures 6-9 (scaled regime)
+    python -m repro figures --sizes 500 1000 --ticks 20
+    python -m repro csweep             # the eq. (2) c tradeoff
+    python -m repro mor1               # Theorem 2 space/query behaviour
+    python -m repro list               # registered index methods
+
+The figure tables match what ``pytest benchmarks/ --benchmark-only``
+writes to ``benchmarks/results/``; the CLI is for interactive poking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import Table, default_methods, run_sweep
+from repro.indexes import INDEX_REGISTRY
+from repro.workloads import LARGE_QUERIES, SMALL_QUERIES
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    methods = default_methods(forest_cs=tuple(args.c))
+
+    def emit(table: Table, title: str, stem: str) -> None:
+        print(table.render(title))
+        print()
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            table.save_csv(os.path.join(args.csv, f"{stem}.csv"))
+
+    for qclass in (LARGE_QUERIES, SMALL_QUERIES):
+        sweep = run_sweep(
+            methods,
+            sizes=args.sizes,
+            query_class=qclass,
+            ticks=args.ticks,
+            update_rate=args.update_rate,
+            seed=args.seed,
+        )
+        if qclass is LARGE_QUERIES:
+            emit(sweep.metric_table("avg_query_io"),
+                 "Figure 6: query I/O (10% queries)", "fig6")
+            emit(sweep.metric_table("space_pages"),
+                 "Figure 8: space (pages)", "fig8")
+            emit(sweep.metric_table("avg_update_io"),
+                 "Figure 9: update I/O", "fig9")
+        else:
+            emit(sweep.metric_table("avg_query_io"),
+                 "Figure 7: query I/O (1% queries)", "fig7")
+    return 0
+
+
+def _cmd_csweep(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.indexes import HoughYForestIndex
+    from repro.workloads import WorkloadGenerator
+
+    gen = WorkloadGenerator(seed=args.seed)
+    objects = gen.initial_population(args.n)
+    queries = [gen.query(SMALL_QUERIES, now=40.0) for _ in range(100)]
+    table = Table(headers=["c", "fetched", "exact", "waste", "pages"])
+    for c in args.c:
+        forest = HoughYForestIndex(gen.model, c=c)
+        for obj in objects:
+            forest.insert(obj)
+        fetched = exact = 0
+        for query in queries:
+            f, e = forest.approximation_overhead(query)
+            fetched += f
+            exact += e
+        table.rows.append([
+            c, fetched, exact,
+            round((fetched - exact) / max(exact, 1), 2),
+            forest.pages_in_use,
+        ])
+    print(table.render("Equation (2) tradeoff: observation indexes c"))
+    return 0
+
+
+def _cmd_mor1(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core import LinearMotion1D, MOR1Query, MobileObject1D
+    from repro.kinetic import MOR1Index
+
+    rng = random.Random(args.seed)
+    table = Table(headers=["N", "crossings", "pages", "avg_query_io"])
+    for n in args.sizes:
+        objects = [
+            MobileObject1D(
+                oid,
+                LinearMotion1D(
+                    rng.uniform(0, 1000), rng.uniform(0.8, 1.2), 0.0
+                ),
+            )
+            for oid in range(n)
+        ]
+        index = MOR1Index(objects, t_start=0.0, window=40.0, page_capacity=16)
+        total = 0
+        for _ in range(40):
+            y1 = rng.uniform(0, 990)
+            index.disk.clear_buffer()
+            before = index.disk.stats.snapshot()
+            index.query(MOR1Query(y1, y1 + 10, rng.uniform(0, 40)))
+            total += (index.disk.stats.snapshot() - before).reads
+        table.rows.append(
+            [n, index.crossing_count, index.pages_in_use, round(total / 40, 1)]
+        )
+    print(table.render("Theorem 2: MOR1 space and query scaling"))
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    import os
+
+    results_dir = args.results
+    if not os.path.isdir(results_dir):
+        print(f"no results directory at {results_dir}; "
+              "run `pytest benchmarks/ --benchmark-only` first")
+        return 1
+    names = sorted(
+        name for name in os.listdir(results_dir) if name.endswith(".txt")
+    )
+    sections = []
+    for name in names:
+        with open(os.path.join(results_dir, name)) as handle:
+            sections.append(handle.read().rstrip())
+    report = "\n\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {len(names)} result tables to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("registered 1-D index methods:")
+    for name in sorted(INDEX_REGISTRY):
+        print(f"  {name:20s} {INDEX_REGISTRY[name].__doc__.splitlines()[0]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'On Indexing Mobile Objects' (PODS 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate Figures 6-9")
+    figures.add_argument("--sizes", type=int, nargs="+",
+                         default=[1000, 2000, 4000])
+    figures.add_argument("--ticks", type=int, default=40)
+    figures.add_argument("--update-rate", type=float, default=0.002)
+    figures.add_argument("--seed", type=int, default=42)
+    figures.add_argument("-c", type=int, nargs="+", default=[4, 6, 8],
+                         help="forest observation-index counts")
+    figures.add_argument("--csv", metavar="DIR", default=None,
+                         help="also write each table as CSV into DIR")
+    figures.set_defaults(func=_cmd_figures)
+
+    csweep = sub.add_parser("csweep", help="equation (2) c tradeoff")
+    csweep.add_argument("-n", type=int, default=3000)
+    csweep.add_argument("-c", type=int, nargs="+", default=[2, 4, 8, 16])
+    csweep.add_argument("--seed", type=int, default=7)
+    csweep.set_defaults(func=_cmd_csweep)
+
+    mor1 = sub.add_parser("mor1", help="Theorem 2 scaling")
+    mor1.add_argument("--sizes", type=int, nargs="+",
+                      default=[250, 1000, 4000])
+    mor1.add_argument("--seed", type=int, default=29)
+    mor1.set_defaults(func=_cmd_mor1)
+
+    listing = sub.add_parser("list", help="list registered index methods")
+    listing.set_defaults(func=_cmd_list)
+
+    collect = sub.add_parser(
+        "collect-results",
+        help="concatenate benchmarks/results/*.txt into one report",
+    )
+    collect.add_argument("--results", default="benchmarks/results")
+    collect.add_argument("--output", "-o", default=None)
+    collect.set_defaults(func=_cmd_collect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

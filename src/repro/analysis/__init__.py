@@ -1,0 +1,34 @@
+"""Analytical cost model and lower-bound formulas."""
+
+from repro.analysis.adversarial import (
+    convex_position_points,
+    pairwise_intersection_stats,
+    tangent_slab_queries,
+)
+from repro.analysis.advisor import Recommendation, WorkloadProfile, choose_c, recommend
+from repro.analysis.prediction import ForestCostPredictor
+from repro.analysis.bounds import (
+    expected_false_positives,
+    hough_y_domain_area,
+    linear_space_query_bound,
+    log_b,
+    mor1_expected_crossings,
+    theorem1_space_bound,
+)
+
+__all__ = [
+    "ForestCostPredictor",
+    "Recommendation",
+    "WorkloadProfile",
+    "choose_c",
+    "convex_position_points",
+    "recommend",
+    "tangent_slab_queries",
+    "expected_false_positives",
+    "hough_y_domain_area",
+    "linear_space_query_bound",
+    "log_b",
+    "pairwise_intersection_stats",
+    "mor1_expected_crossings",
+    "theorem1_space_bound",
+]

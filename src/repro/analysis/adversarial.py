@@ -1,0 +1,103 @@
+"""Adversarial instances for the Theorem 1 lower bound (§3.3).
+
+The Chazelle–Rosenberg argument behind Theorem 1 needs a point set and
+a family of simplex queries such that each query reports ``Θ(B·n^δ)``
+points while any two queries share few points — then no layout of the
+points into pages can serve every query cheaply, because each query
+needs its *own* well-packed pages.
+
+This module builds the classic concrete instance of that flavour:
+
+* ``N`` points in convex position (on a circle), and
+* thin *slab* queries tangent to the circle at many directions, each
+  capturing one short arc of ``K`` consecutive points; two slabs of
+  different directions overlap in ``O(1)`` points.
+
+On such instances a linear-space structure cannot beat ``~√n`` I/Os per
+query even though every answer is tiny — the demonstration bench shows
+the partition tree paying it, and the same queries on *clustered* data
+being far cheaper.  (An empirical exhibit of the bound's tightness, not
+a proof.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Tuple
+
+from repro.core.duality import ConvexRegion, HalfPlane
+
+Point = Tuple[float, float]
+
+
+def convex_position_points(
+    n: int, radius: float = 1000.0, centre: Point = (0.0, 0.0)
+) -> List[Tuple[Point, int]]:
+    """``n`` points spread on a circle (convex position), ids 0..n-1."""
+    if n < 1:
+        raise ValueError(f"need at least one point, got {n}")
+    points = []
+    for i in range(n):
+        angle = 2.0 * math.pi * i / n
+        points.append(
+            (
+                (
+                    centre[0] + radius * math.cos(angle),
+                    centre[1] + radius * math.sin(angle),
+                ),
+                i,
+            )
+        )
+    return points
+
+
+def tangent_slab_queries(
+    n: int,
+    answer_size: int,
+    query_count: int,
+    radius: float = 1000.0,
+    centre: Point = (0.0, 0.0),
+) -> List[ConvexRegion]:
+    """Thin slabs, each capturing ``answer_size`` consecutive circle points.
+
+    Slab ``j`` is oriented towards direction ``θ_j`` and keeps exactly
+    the points whose projection on that direction exceeds the chordal
+    depth of an arc of ``answer_size`` points; different directions
+    capture different arcs, so pairwise intersections stay ``O(answer
+    _size²/n)`` — tiny for the configurations the bench uses.
+    """
+    if not 1 <= answer_size <= n:
+        raise ValueError(f"answer size must be in [1, {n}]")
+    if query_count < 1:
+        raise ValueError("need at least one query")
+    # Depth: the arc of `answer_size` points spans this central angle.
+    half_angle = math.pi * answer_size / n
+    depth = radius * math.cos(half_angle)
+    queries = []
+    for j in range(query_count):
+        theta = 2.0 * math.pi * (j + 0.37) / query_count
+        ux, uy = math.cos(theta), math.sin(theta)
+        # Keep points with u . (p - centre) >= depth:
+        #   -u.p <= -(depth + u.centre)
+        rhs = -(depth + ux * centre[0] + uy * centre[1])
+        queries.append(ConvexRegion((HalfPlane(-ux, -uy, rhs),)))
+    return queries
+
+
+def pairwise_intersection_stats(
+    points: List[Tuple[Point, int]], queries: List[ConvexRegion]
+) -> Tuple[float, int]:
+    """(average, maximum) pairwise answer intersection over the queries."""
+    answers = [
+        {oid for p, oid in points if q.contains(*p)} for q in queries
+    ]
+    total = 0
+    worst = 0
+    pairs = 0
+    for i in range(len(answers)):
+        for j in range(i + 1, len(answers)):
+            shared = len(answers[i] & answers[j])
+            total += shared
+            worst = max(worst, shared)
+            pairs += 1
+    return (total / max(pairs, 1), worst)

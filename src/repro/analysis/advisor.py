@@ -1,0 +1,137 @@
+"""Method advisor: pick an index from a workload profile.
+
+The paper (and this reproduction's measurements) establish a clean
+decision surface between the methods:
+
+* **instant queries within a bounded window, few crossings** — the
+  §3.6 MOR1 structure is logarithmic, unbeatable when it applies;
+* **update-dominated workloads** — the Hough-X kd point method updates
+  in one root-to-leaf path (Figure 9's flat ~4 I/Os);
+* **selective range queries** — the Hough-Y forest wins (Figure 7),
+  with ``c`` matched to the typical query extent so case (i) applies
+  (eq. 2's bound holds for queries narrower than a subterrain);
+* otherwise the kd method is the safe all-rounder.
+
+:func:`recommend` encodes those rules and explains itself; thresholds
+come from the benchmark results recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.bounds import mor1_expected_crossings
+from repro.core.model import MotionModel
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the advisor needs to know about the expected workload."""
+
+    n: int
+    #: Typical query location extent, as a fraction of the terrain.
+    query_extent_fraction: float
+    #: Updates issued per query answered.
+    updates_per_query: float
+    #: All queries are single instants (t1 == t2).
+    instant_only: bool = False
+    #: Queries never look further ahead than this (None = unbounded).
+    max_lookahead: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"population must be >= 0, got {self.n}")
+        if not 0.0 < self.query_extent_fraction <= 1.0:
+            raise ValueError(
+                "query extent fraction must be in (0, 1], got "
+                f"{self.query_extent_fraction}"
+            )
+        if self.updates_per_query < 0:
+            raise ValueError("updates_per_query must be >= 0")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A method choice with parameters and a human-readable rationale."""
+
+    method: str
+    params: Dict[str, object]
+    rationale: str
+
+
+#: Above this update:query ratio, update cost dominates the bill.
+UPDATE_HEAVY_RATIO = 5.0
+
+#: MOR1 is chosen only while expected crossings stay near-linear.
+MOR1_CROSSING_BUDGET = 4.0  # m <= budget * n
+
+
+def choose_c(query_extent_fraction: float) -> int:
+    """Smallest c that keeps typical queries within one subterrain.
+
+    Case (i) of §3.5.2 (the bounded-E fast path) applies when the query
+    is no wider than ``y_max / c``; picking ``c ~ 1/extent`` keeps it
+    applicable while the c-sweep ablation shows waste falling in c.
+    """
+    c = int(1.0 / query_extent_fraction)
+    return max(2, min(16, c))
+
+
+def recommend(model: MotionModel, profile: WorkloadProfile) -> Recommendation:
+    """Pick an index class and parameters for the profiled workload."""
+    # Restricted regime: single instants within a bounded horizon.
+    if profile.instant_only and profile.max_lookahead is not None:
+        expected_m = mor1_expected_crossings(
+            profile.n,
+            profile.max_lookahead,
+            model.v_min,
+            model.v_max,
+            model.terrain.y_max,
+        )
+        if expected_m <= MOR1_CROSSING_BUDGET * max(profile.n, 1):
+            return Recommendation(
+                method="mor1-staggered",
+                params={"window": profile.max_lookahead},
+                rationale=(
+                    "instant queries within a bounded window and "
+                    f"~{expected_m:.0f} expected crossings (≈linear in "
+                    f"n={profile.n}): Theorem 2 gives O(log_B(n+m)) "
+                    "queries, far below any √n method"
+                ),
+            )
+    # Update-dominated: the kd point method's one-path updates win.
+    if profile.updates_per_query >= UPDATE_HEAVY_RATIO:
+        return Recommendation(
+            method="dual-kdtree",
+            params={},
+            rationale=(
+                f"{profile.updates_per_query:.1f} updates per query: "
+                "Figure 9 shows the Hough-X kd method updating in ~4 "
+                "I/Os flat while the forest pays O(c log_B n)"
+            ),
+        )
+    # Query-dominated and selective: the forest's territory (Figure 7).
+    if profile.query_extent_fraction <= 0.125:
+        c = choose_c(profile.query_extent_fraction)
+        return Recommendation(
+            method="hough-y-forest",
+            params={"c": c},
+            rationale=(
+                f"selective queries (~{profile.query_extent_fraction:.1%} "
+                f"of the terrain) with few updates: Figure 7's regime; "
+                f"c={c} keeps typical queries within one subterrain "
+                "(eq. 2 bounds the approximation waste)"
+            ),
+        )
+    # Wide queries, mixed load: the all-rounder.
+    return Recommendation(
+        method="dual-kdtree",
+        params={},
+        rationale=(
+            f"wide queries (~{profile.query_extent_fraction:.0%} of the "
+            "terrain) fetch large answers on any method; the kd point "
+            "method matches the forest there (Figure 6) at a fraction "
+            "of its space and update cost"
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Analytical formulas from the paper: cost model and lower bounds.
+
+These functions let benchmarks chart measured behaviour against what the
+theory predicts:
+
+* Theorem 1's space/time tradeoff for external simplex reporting;
+* the ``Ω(√n + k)`` linear-space query lower bound it implies;
+* external-memory logarithms and the Lemma 1 / equation (1)-(2)
+  approximation-error predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_b(n: float, page_capacity: int) -> float:
+    """The external-memory logarithm ``log_B n`` (>= 1 for n > 1)."""
+    if n <= 1:
+        return 1.0
+    if page_capacity < 2:
+        raise ValueError(f"page capacity must be >= 2, got {page_capacity}")
+    return max(1.0, math.log(n, page_capacity))
+
+
+def theorem1_space_bound(
+    n: float, delta: float, d: int = 2, eps: float = 0.0
+) -> float:
+    """Theorem 1: blocks required for ``O(n^δ + k)``-I/O simplex reporting.
+
+    ``Ω(n^{d(1-δ) - ε})`` disk blocks, for ``0 < δ <= 1``.
+    """
+    if not 0 < delta <= 1:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    return n ** (d * (1.0 - delta) - eps)
+
+
+def linear_space_query_bound(n: float, d: int = 2) -> float:
+    """Corollary: query I/Os forced by linear space: ``n^{(d-1)/d}``.
+
+    For the 1-D MOR problem (dual dimension ``d = 2``) this is ``√n``;
+    for planar motion (``d = 4``) it is ``n^{3/4}`` — the exponents the
+    partition-tree methods match up to ``ε``.
+    """
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    return n ** ((d - 1) / d)
+
+
+def expected_false_positives(
+    n_objects: int, extra_area: float, dual_domain_area: float
+) -> float:
+    """Expected ``K'`` from the approximation area ``E`` (§3.5.2).
+
+    With dual points roughly uniform over a dual domain of the given
+    area, the rectangle approximation fetches about
+    ``N * E / area`` extra records.
+    """
+    if dual_domain_area <= 0:
+        raise ValueError("dual domain area must be positive")
+    return n_objects * extra_area / dual_domain_area
+
+
+def hough_y_domain_area(
+    v_min: float, v_max: float, b_spread: float
+) -> float:
+    """Area of the Hough-Y dual domain occupied by a population.
+
+    ``n`` spans ``[1/v_max, 1/v_min]``; ``b`` spans the given spread
+    (roughly the update-time spread plus the terrain crossing time).
+    """
+    if not 0 < v_min <= v_max:
+        raise ValueError(f"need 0 < v_min <= v_max, got ({v_min}, {v_max})")
+    if b_spread <= 0:
+        raise ValueError("b spread must be positive")
+    return (1.0 / v_min - 1.0 / v_max) * b_spread
+
+
+def mor1_expected_crossings(
+    n: int, window: float, v_min: float, v_max: float, y_max: float
+) -> float:
+    """Rough expected crossing count ``M`` for the uniform workload.
+
+    Two uniform objects with relative speed ``Δv`` cross within a window
+    ``T`` with probability about ``min(1, Δv * T / y_max)``; integrating
+    ``Δv`` over two independent uniform speeds with random directions
+    gives a mean relative speed of roughly ``v_min + (v_max - v_min)``.
+    This is a planning estimate for sizing MOR1 windows, not a theorem.
+    """
+    if n < 2:
+        return 0.0
+    mean_rel_speed = (v_max + v_min) / 2.0 + (v_max - v_min) / 3.0
+    pair_probability = min(1.0, mean_rel_speed * window / y_max)
+    return n * (n - 1) / 2.0 * pair_probability

@@ -1,0 +1,80 @@
+"""Forest query-cost prediction from the eq. (1) geometry.
+
+The §3.5.2 analysis says the approximation fetches the records whose
+``b``-coordinate falls in the query rectangle — the exact answer plus
+the two triangles of area ``E``.  Given the empirical distribution of
+stored ``b`` values (a histogram per observation tree), the fetched
+count for any narrow query is therefore *predictable* before running
+it: it is the histogram mass inside
+:func:`~repro.core.duality.hough_y_b_range`.
+
+:class:`ForestCostPredictor` builds those histograms from a forest and
+predicts per-query fetch volumes; the test suite checks the prediction
+tracks the measured :meth:`~repro.indexes.hough_y_forest.HoughYForestIndex.approximation_overhead`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.core.duality import (
+    best_observation_horizon,
+    hough_y_b_range,
+    reflect_query,
+)
+from repro.core.queries import MORQuery1D
+from repro.indexes.hough_y_forest import HoughYForestIndex
+
+
+class ForestCostPredictor:
+    """Predicts fetched-record counts for narrow forest queries."""
+
+    def __init__(
+        self, b_values: Dict[Tuple[int, int], List[float]], forest: HoughYForestIndex
+    ) -> None:
+        self._sorted_b = {
+            key: sorted(values) for key, values in b_values.items()
+        }
+        self._forest = forest
+
+    @classmethod
+    def from_index(cls, forest: HoughYForestIndex) -> "ForestCostPredictor":
+        """Snapshot the stored b-distributions of every observation tree.
+
+        Building the snapshot scans the trees once (charged I/O); the
+        predictions themselves are then free.
+        """
+        b_values: Dict[Tuple[int, int], List[float]] = {}
+        for key, tree in forest._trees.items():
+            b_values[key] = [b for (b, _), _ in tree.items()]
+        return cls(b_values, forest)
+
+    def predict_fetched(self, query: MORQuery1D) -> int:
+        """Records a narrow query will fetch (both velocity signs)."""
+        model = self._forest.model
+        total = 0
+        for sign in (1, -1):
+            oriented = (
+                query
+                if sign == 1
+                else reflect_query(query, model.terrain.y_max)
+            )
+            i = best_observation_horizon(oriented, self._forest.horizons)
+            b_lo, b_hi = hough_y_b_range(
+                oriented,
+                self._forest.horizons[i],
+                model.v_min,
+                model.v_max,
+            )
+            values = self._sorted_b.get((sign, i), [])
+            total += bisect.bisect_right(values, b_hi) - bisect.bisect_left(
+                values, b_lo
+            )
+        return total
+
+    def predict_leaf_reads(self, query: MORQuery1D) -> float:
+        """Approximate leaf pages touched: fetched records / leaf fill."""
+        fetched = self.predict_fetched(query)
+        capacity = next(iter(self._forest._trees.values())).leaf_capacity
+        return fetched / max(1, capacity // 2)

@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing the paper's §5 figures."""
+
+from repro.bench.harness import (
+    MethodFactory,
+    SweepResult,
+    Table,
+    default_methods,
+    run_sweep,
+)
+
+__all__ = [
+    "MethodFactory",
+    "SweepResult",
+    "Table",
+    "default_methods",
+    "run_sweep",
+]

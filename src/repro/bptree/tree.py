@@ -1,0 +1,497 @@
+"""A dynamic, disk-based B+-tree over the paged storage simulator.
+
+This is the workhorse of the paper's practical method (§3.5.2): each of
+the ``c`` observation indexes is "simply a B+-tree" over the Hough-Y
+``b``-coordinate.  The implementation is a classic B+-tree:
+
+* leaves hold sorted ``(key, value)`` records and are chained for range
+  scans;
+* internal nodes hold ``(min_key, child_pid, aggregate)`` routing
+  entries (min-key routing);
+* nodes split at capacity and borrow/merge at half occupancy.
+
+The optional *aggregate* slot supports augmented trees: subclasses
+override :meth:`_leaf_aggregate` / :meth:`_merge_aggregates` to maintain
+a per-subtree summary (the external interval tree of
+:mod:`repro.interval` uses a max-endpoint aggregate to answer overlap
+queries with pruning).
+
+Keys may be any totally ordered values (floats, tuples, ...).  All page
+touches go through the :class:`~repro.io_sim.pager.DiskSimulator`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ObjectNotFoundError
+from repro.io_sim.pager import DiskSimulator, Page
+
+LEAF = "leaf"
+INTERNAL = "internal"
+
+#: Leaf record: (key, value).
+LeafEntry = Tuple[Any, Any]
+#: Internal record: (min_key, child_pid, aggregate).
+InternalEntry = Tuple[Any, int, Any]
+
+
+class BPlusTree:
+    """Disk-based B+-tree with duplicate-free keys and range scans.
+
+    Parameters
+    ----------
+    disk:
+        The simulated disk; every node occupies one of its pages.
+    leaf_capacity, internal_capacity:
+        Maximum records per leaf / routing entries per internal node.
+        The paper's observation index uses ``leaf_capacity = 341``
+        (3 four-byte fields in a 4096-byte page).
+    """
+
+    def __init__(
+        self,
+        disk: DiskSimulator,
+        leaf_capacity: int,
+        internal_capacity: Optional[int] = None,
+    ) -> None:
+        if leaf_capacity < 2:
+            raise ValueError(f"leaf capacity must be >= 2, got {leaf_capacity}")
+        self.disk = disk
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity or leaf_capacity
+        if self.internal_capacity < 2:
+            raise ValueError(
+                f"internal capacity must be >= 2, got {self.internal_capacity}"
+            )
+        root = disk.allocate(leaf_capacity)
+        root.meta["kind"] = LEAF
+        root.meta["next"] = None
+        self._root_pid = root.pid
+        self._size = 0
+        self._height = 1
+
+    @classmethod
+    def bulk_load(
+        cls,
+        disk: DiskSimulator,
+        sorted_items: List[LeafEntry],
+        leaf_capacity: int,
+        internal_capacity: Optional[int] = None,
+        fill: float = 1.0,
+    ) -> "BPlusTree":
+        """Build a tree from pre-sorted records in ``O(n)`` I/Os.
+
+        Leaves are packed at ``fill`` occupancy (1.0 = full pages, the
+        classic bulk load; lower values leave room for inserts) and the
+        index levels are stacked bottom-up.  Keys must be strictly
+        increasing.  The tail is rebalanced so the half-full invariant
+        holds everywhere.
+        """
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill factor must be in (0, 1], got {fill}")
+        tree = cls(disk, leaf_capacity, internal_capacity)
+        if not sorted_items:
+            return tree
+        keys = [key for key, _ in sorted_items]
+        for a, b in zip(keys, keys[1:]):
+            if not a < b:
+                raise ValueError("bulk load requires strictly sorted keys")
+        disk.free(tree._root_pid)  # replace the empty bootstrap root
+        chunk = max(2, min(leaf_capacity, int(leaf_capacity * fill)))
+        chunks = _balanced_chunks(sorted_items, chunk, leaf_capacity // 2)
+        level: List[Page] = []
+        prev: Optional[Page] = None
+        for records in chunks:
+            page = disk.allocate(leaf_capacity)
+            page.meta["kind"] = LEAF
+            page.meta["next"] = None
+            page.items = records
+            if prev is not None:
+                prev.meta["next"] = page.pid
+                disk.write(prev)
+            disk.write(page)
+            level.append(page)
+            prev = page
+        while len(level) > 1:
+            entries = [
+                (page.items[0][0], page.pid, tree._node_aggregate(page))
+                for page in level
+            ]
+            chunk = max(2, min(
+                tree.internal_capacity,
+                int(tree.internal_capacity * fill),
+            ))
+            groups = _balanced_chunks(
+                entries, chunk, tree.internal_capacity // 2
+            )
+            parents: List[Page] = []
+            for group in groups:
+                page = disk.allocate(tree.internal_capacity)
+                page.meta["kind"] = INTERNAL
+                page.items = group
+                disk.write(page)
+                parents.append(page)
+            level = parents
+            tree._height += 1
+        tree._root_pid = level[0].pid
+        tree._size = len(sorted_items)
+        return tree
+
+    # -- aggregation hooks (overridden by augmented trees) ------------------
+
+    def _leaf_aggregate(self, items: List[LeafEntry]) -> Any:
+        """Summary of a leaf's records; ``None`` disables augmentation."""
+        return None
+
+    def _merge_aggregates(self, aggregates: List[Any]) -> Any:
+        """Combine child aggregates into an internal node's summary."""
+        return None
+
+    def _node_aggregate(self, page: Page) -> Any:
+        if page.meta["kind"] == LEAF:
+            return self._leaf_aggregate(page.items)
+        return self._merge_aggregates([agg for (_, _, agg) in page.items])
+
+    # -- properties ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf)."""
+        return self._height
+
+    @property
+    def root_pid(self) -> int:
+        return self._root_pid
+
+    # -- descent helpers -------------------------------------------------------
+
+    @staticmethod
+    def _leaf_keys(page: Page) -> List[Any]:
+        return [key for (key, _) in page.items]
+
+    @staticmethod
+    def _route(page: Page, key: Any) -> int:
+        """Child slot whose subtree should contain ``key`` (min-key routing)."""
+        keys = [entry[0] for entry in page.items]
+        idx = bisect.bisect_right(keys, key) - 1
+        return max(idx, 0)
+
+    def _descend(self, key: Any) -> List[Tuple[Page, int]]:
+        """Read the root-to-leaf path for ``key``.
+
+        Returns ``[(page, child_slot), ..., (leaf, -1)]``; the slot is the
+        index of the child followed out of each internal page.
+        """
+        path: List[Tuple[Page, int]] = []
+        page = self.disk.read(self._root_pid)
+        while page.meta["kind"] == INTERNAL:
+            slot = self._route(page, key)
+            path.append((page, slot))
+            page = self.disk.read(page.items[slot][1])
+        path.append((page, -1))
+        return path
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a record; ``key`` must not already be present."""
+        path = self._descend(key)
+        leaf, _ = path[-1]
+        keys = self._leaf_keys(leaf)
+        idx = bisect.bisect_left(keys, key)
+        if idx < len(keys) and keys[idx] == key:
+            raise ValueError(f"duplicate key {key!r}")
+        leaf.items.insert(idx, (key, value))
+        self._size += 1
+        self._propagate_after_growth(path)
+
+    def _propagate_after_growth(self, path: List[Tuple[Page, int]]) -> None:
+        """Split overflowing nodes bottom-up and refresh routing entries."""
+        carry: Optional[InternalEntry] = None  # new sibling to add above
+        for level in range(len(path) - 1, -1, -1):
+            page, _ = path[level]
+            if carry is not None:
+                slot = self._route_for_entry(page, carry[0])
+                page.items.insert(slot + 1, carry)
+                carry = None
+            if len(page.items) > self._capacity_of(page):
+                carry = self._split(page)
+            self.disk.write(page)
+            if level > 0:
+                parent, slot = path[level - 1]
+                self._refresh_parent_entry(parent, slot, page)
+        if carry is not None:
+            self._grow_root(carry)
+
+    def _capacity_of(self, page: Page) -> int:
+        return (
+            self.leaf_capacity
+            if page.meta["kind"] == LEAF
+            else self.internal_capacity
+        )
+
+    @staticmethod
+    def _route_for_entry(page: Page, key: Any) -> int:
+        keys = [entry[0] for entry in page.items]
+        return max(bisect.bisect_right(keys, key) - 1, 0)
+
+    def _split(self, page: Page) -> InternalEntry:
+        """Move the upper half of ``page`` into a new sibling.
+
+        Returns the routing entry for the new sibling.
+        """
+        mid = len(page.items) // 2
+        sibling = self.disk.allocate(page.capacity)
+        sibling.meta.update(page.meta)
+        sibling.items = page.items[mid:]
+        page.items = page.items[:mid]
+        if page.meta["kind"] == LEAF:
+            sibling.meta["next"] = page.meta["next"]
+            page.meta["next"] = sibling.pid
+        self.disk.write(sibling)
+        min_key = sibling.items[0][0]
+        return (min_key, sibling.pid, self._node_aggregate(sibling))
+
+    def _refresh_parent_entry(self, parent: Page, slot: int, child: Page) -> None:
+        """Keep the parent's (min_key, pid, aggregate) entry accurate."""
+        min_key = child.items[0][0]
+        entry = (min_key, child.pid, self._node_aggregate(child))
+        if parent.items[slot] != entry:
+            parent.items[slot] = entry
+
+    def _grow_root(self, sibling_entry: InternalEntry) -> None:
+        old_root = self.disk.read(self._root_pid)
+        new_root = self.disk.allocate(self.internal_capacity)
+        new_root.meta["kind"] = INTERNAL
+        new_root.items = [
+            (
+                old_root.items[0][0],
+                old_root.pid,
+                self._node_aggregate(old_root),
+            ),
+            sibling_entry,
+        ]
+        self.disk.write(new_root)
+        self._root_pid = new_root.pid
+        self._height += 1
+
+    # -- deletion ---------------------------------------------------------------
+
+    def delete(self, key: Any) -> Any:
+        """Remove the record with ``key``; returns its value."""
+        path = self._descend(key)
+        leaf, _ = path[-1]
+        keys = self._leaf_keys(leaf)
+        idx = bisect.bisect_left(keys, key)
+        if idx >= len(keys) or keys[idx] != key:
+            raise ObjectNotFoundError(f"key {key!r} not found")
+        _, value = leaf.items.pop(idx)
+        self._size -= 1
+        self._rebalance_after_shrink(path)
+        return value
+
+    def _min_fill(self, page: Page) -> int:
+        return self._capacity_of(page) // 2
+
+    def _rebalance_after_shrink(self, path: List[Tuple[Page, int]]) -> None:
+        for level in range(len(path) - 1, -1, -1):
+            page, _ = path[level]
+            if level == 0:
+                self._shrink_root(page)
+                self.disk.write(self.disk.read(self._root_pid))
+                return
+            parent, slot = path[level - 1]
+            if len(page.items) < self._min_fill(page):
+                self._fix_underflow(parent, slot)
+            else:
+                self.disk.write(page)
+                self._refresh_parent_entry(parent, slot, page)
+
+    def _shrink_root(self, root: Page) -> None:
+        """Collapse a one-child internal root."""
+        while root.meta["kind"] == INTERNAL and len(root.items) == 1:
+            child_pid = root.items[0][1]
+            self.disk.free(root.pid)
+            self._root_pid = child_pid
+            self._height -= 1
+            root = self.disk.read(child_pid)
+
+    def _fix_underflow(self, parent: Page, slot: int) -> None:
+        """Borrow from a sibling or merge; updates ``parent`` in place."""
+        page = self.disk.read(parent.items[slot][1])
+        left = (
+            self.disk.read(parent.items[slot - 1][1]) if slot > 0 else None
+        )
+        right = (
+            self.disk.read(parent.items[slot + 1][1])
+            if slot + 1 < len(parent.items)
+            else None
+        )
+        if left is not None and len(left.items) > self._min_fill(left):
+            page.items.insert(0, left.items.pop())
+            self.disk.write(left)
+            self.disk.write(page)
+            self._refresh_parent_entry(parent, slot - 1, left)
+            self._refresh_parent_entry(parent, slot, page)
+            return
+        if right is not None and len(right.items) > self._min_fill(right):
+            page.items.append(right.items.pop(0))
+            self.disk.write(right)
+            self.disk.write(page)
+            self._refresh_parent_entry(parent, slot, page)
+            self._refresh_parent_entry(parent, slot + 1, right)
+            return
+        # Merge with a sibling (prefer left so leaf chaining stays simple).
+        if left is not None:
+            absorber, victim, victim_slot = left, page, slot
+        elif right is not None:
+            absorber, victim, victim_slot = page, right, slot + 1
+        else:
+            # Parent has a single child; the root shrink pass handles it.
+            self.disk.write(page)
+            self._refresh_parent_entry(parent, slot, page)
+            return
+        absorber.items.extend(victim.items)
+        if absorber.meta["kind"] == LEAF:
+            absorber.meta["next"] = victim.meta["next"]
+        self.disk.write(absorber)
+        self.disk.free(victim.pid)
+        parent.items.pop(victim_slot)
+        absorber_slot = victim_slot - 1 if absorber is left else victim_slot - 1
+        self._refresh_parent_entry(parent, absorber_slot, absorber)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, key: Any) -> Any:
+        """Value stored under ``key``; raises if absent."""
+        leaf, _ = self._descend(key)[-1]
+        keys = self._leaf_keys(leaf)
+        idx = bisect.bisect_left(keys, key)
+        if idx >= len(keys) or keys[idx] != key:
+            raise ObjectNotFoundError(f"key {key!r} not found")
+        return leaf.items[idx][1]
+
+    def contains(self, key: Any) -> bool:
+        try:
+            self.get(key)
+        except ObjectNotFoundError:
+            return False
+        return True
+
+    def range_search(self, lo: Any, hi: Any) -> List[Any]:
+        """Values of all records with ``lo <= key <= hi`` (leaf-chain scan)."""
+        return [value for (_, value) in self.range_items(lo, hi)]
+
+    def range_items(self, lo: Any, hi: Any) -> Iterator[LeafEntry]:
+        """Iterate ``(key, value)`` records with ``lo <= key <= hi``."""
+        leaf, _ = self._descend(lo)[-1]
+        while leaf is not None:
+            for key, value in leaf.items:
+                if key > hi:
+                    return
+                if key >= lo:
+                    yield (key, value)
+            next_pid = leaf.meta["next"]
+            leaf = self.disk.read(next_pid) if next_pid is not None else None
+
+    def items(self) -> Iterator[LeafEntry]:
+        """Iterate every record in key order (full leaf-chain scan)."""
+        page = self.disk.read(self._root_pid)
+        while page.meta["kind"] == INTERNAL:
+            page = self.disk.read(page.items[0][1])
+        while page is not None:
+            yield from page.items
+            next_pid = page.meta["next"]
+            page = self.disk.read(next_pid) if next_pid is not None else None
+
+    # -- invariant checking (used heavily by tests) --------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate structure: ordering, fill factors, routing keys, chain."""
+        leaves: List[Page] = []
+        self._check_node(self._root_pid, is_root=True, leaves=leaves)
+        chained = []
+        page = self.disk.peek(self._root_pid)
+        assert page is not None
+        while page.meta["kind"] == INTERNAL:
+            page = self.disk.peek(page.items[0][1])
+            assert page is not None
+        while page is not None:
+            chained.append(page.pid)
+            next_pid = page.meta["next"]
+            page = self.disk.peek(next_pid) if next_pid is not None else None
+        assert chained == [leaf.pid for leaf in leaves], "leaf chain broken"
+        total = sum(len(leaf.items) for leaf in leaves)
+        assert total == self._size, f"size mismatch: {total} != {self._size}"
+
+    def _check_node(
+        self, pid: int, is_root: bool, leaves: List[Page]
+    ) -> Tuple[Any, Any]:
+        page = self.disk.peek(pid)
+        assert page is not None, f"dangling page {pid}"
+        keys = [entry[0] for entry in page.items]
+        assert keys == sorted(keys), f"unsorted node {pid}"
+        if not is_root:
+            assert len(page.items) >= self._min_fill(page), f"underfull {pid}"
+        assert len(page.items) <= self._capacity_of(page), f"overfull {pid}"
+        if page.meta["kind"] == LEAF:
+            leaves.append(page)
+            if page.items:
+                return (keys[0], keys[-1])
+            assert is_root, "empty non-root leaf"
+            return (None, None)
+        lo = hi = None
+        for i, (min_key, child_pid, _) in enumerate(page.items):
+            child_lo, child_hi = self._check_node(
+                child_pid, is_root=False, leaves=leaves
+            )
+            assert child_lo == min_key, f"stale min-key in {pid} slot {i}"
+            if hi is not None:
+                assert hi < child_lo, f"sibling overlap under {pid}"
+            if lo is None:
+                lo = child_lo
+            hi = child_hi
+        return (lo, hi)
+
+
+def _balanced_chunks(
+    items: List[Any], chunk: int, min_fill: int
+) -> List[List[Any]]:
+    """Split ``items`` into runs of ~``chunk``, all at least ``min_fill``.
+
+    A short tail is fixed by spreading the last few chunks evenly —
+    always possible because the chunk size is forced above ``min_fill``
+    whenever more than one chunk exists.
+    """
+    if len(items) <= chunk:
+        return [list(items)]
+    chunk = max(chunk, min_fill + 1)
+    if len(items) <= chunk:
+        return [list(items)]
+    chunks = [list(items[i : i + chunk]) for i in range(0, len(items), chunk)]
+    tail = len(chunks[-1])
+    if len(chunks) > 1 and tail < min_fill:
+        # Redistribute the last k chunks evenly; k chosen so each part
+        # holds at least min_fill items.
+        k = 2
+        while k <= len(chunks):
+            spare = sum(len(c) for c in chunks[-k:])
+            if spare // k >= min_fill:
+                break
+            k += 1
+        k = min(k, len(chunks))
+        spare_items = [item for c in chunks[-k:] for item in c]
+        del chunks[-k:]
+        base = len(spare_items) // k
+        extra = len(spare_items) % k
+        start = 0
+        for i in range(k):
+            size = base + (1 if i < extra else 0)
+            chunks.append(spare_items[start : start + size])
+            start += size
+    return chunks

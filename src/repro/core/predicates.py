@@ -1,0 +1,74 @@
+"""Exact reference semantics for MOR queries (the brute-force oracle).
+
+Every index in the library is tested against these functions: they apply
+the query predicate directly to each motion, so they are slow (a full
+scan) but trivially correct.  The benchmark harness also uses them to
+compute exact answer cardinalities (the paper's ``K``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.core.model import LinearMotion1D, LinearMotion2D, MobileObject1D, MobileObject2D
+from repro.core.queries import MOR1Query, MORQuery1D, MORQuery2D
+
+
+def matches_1d(motion: LinearMotion1D, query: MORQuery1D) -> bool:
+    """True iff the motion is inside ``[y1, y2]`` sometime in ``[t1, t2]``.
+
+    A linear motion sweeps the closed interval between its endpoint
+    locations, so the reached range over the window is exactly
+    ``[min(y(t1), y(t2)), max(y(t1), y(t2))]``.
+    """
+    y_start = motion.position(query.t1)
+    y_end = motion.position(query.t2)
+    lo = min(y_start, y_end)
+    hi = max(y_start, y_end)
+    return lo <= query.y2 and hi >= query.y1
+
+
+def matches_mor1(motion: LinearMotion1D, query: MOR1Query) -> bool:
+    """True iff the motion is inside ``[y1, y2]`` at the single instant."""
+    y = motion.position(query.t)
+    return query.y1 <= y <= query.y2
+
+
+def matches_2d(motion: LinearMotion2D, query: MORQuery2D) -> bool:
+    """True iff some single instant of the window puts the object in the box.
+
+    The per-axis in-range time intervals must *overlap*; matching each
+    axis at different times is not enough (this is why the per-axis
+    decomposition of §4.2 intersects the two 1-D answers and then
+    re-checks candidates).
+    """
+    x_interval = motion.x_motion.time_interval_in_range(query.x1, query.x2)
+    if x_interval is None:
+        return False
+    y_interval = motion.y_motion.time_interval_in_range(query.y1, query.y2)
+    if y_interval is None:
+        return False
+    lo = max(x_interval[0], y_interval[0], query.t1)
+    hi = min(x_interval[1], y_interval[1], query.t2)
+    return lo <= hi
+
+
+def brute_force_1d(
+    objects: Iterable[MobileObject1D], query: MORQuery1D
+) -> Set[int]:
+    """Exact answer set of a 1-D MOR query by full scan."""
+    return {obj.oid for obj in objects if matches_1d(obj.motion, query)}
+
+
+def brute_force_mor1(
+    objects: Iterable[MobileObject1D], query: MOR1Query
+) -> Set[int]:
+    """Exact answer set of a MOR1 query by full scan."""
+    return {obj.oid for obj in objects if matches_mor1(obj.motion, query)}
+
+
+def brute_force_2d(
+    objects: Iterable[MobileObject2D], query: MORQuery2D
+) -> Set[int]:
+    """Exact answer set of a 2-D MOR query by full scan."""
+    return {obj.oid for obj in objects if matches_2d(obj.motion, query)}

@@ -1,0 +1,84 @@
+"""Query types for moving-object range reporting.
+
+The paper defines the *MOR query* (section 2): report the objects that
+reside inside a location range at some instant of a future time window
+``[t1, t2]``, given the current motion information of all objects.  The
+restricted *MOR1 query* (section 3.6) fixes ``t1 == t2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidQueryError
+
+
+@dataclass(frozen=True)
+class MORQuery1D:
+    """Report objects in ``[y1, y2]`` at some time in ``[t1, t2]``."""
+
+    y1: float
+    y2: float
+    t1: float
+    t2: float
+
+    def __post_init__(self) -> None:
+        if self.y1 > self.y2:
+            raise InvalidQueryError(f"empty y-range [{self.y1}, {self.y2}]")
+        if self.t1 > self.t2:
+            raise InvalidQueryError(f"empty time window [{self.t1}, {self.t2}]")
+
+    @property
+    def y_extent(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def time_extent(self) -> float:
+        return self.t2 - self.t1
+
+
+@dataclass(frozen=True)
+class MOR1Query:
+    """The restricted query of §3.6: a single future time instant."""
+
+    y1: float
+    y2: float
+    t: float
+
+    def __post_init__(self) -> None:
+        if self.y1 > self.y2:
+            raise InvalidQueryError(f"empty y-range [{self.y1}, {self.y2}]")
+
+    def as_mor(self) -> MORQuery1D:
+        """View this query as a degenerate MOR query (``t1 == t2``)."""
+        return MORQuery1D(self.y1, self.y2, self.t, self.t)
+
+
+@dataclass(frozen=True)
+class MORQuery2D:
+    """Report objects in ``[x1,x2] x [y1,y2]`` at some time in ``[t1, t2]``."""
+
+    x1: float
+    x2: float
+    y1: float
+    y2: float
+    t1: float
+    t2: float
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2:
+            raise InvalidQueryError(f"empty x-range [{self.x1}, {self.x2}]")
+        if self.y1 > self.y2:
+            raise InvalidQueryError(f"empty y-range [{self.y1}, {self.y2}]")
+        if self.t1 > self.t2:
+            raise InvalidQueryError(f"empty time window [{self.t1}, {self.t2}]")
+
+    @property
+    def x_query(self) -> MORQuery1D:
+        """The x-axis projection (per-axis decomposition, §4.2)."""
+        return MORQuery1D(self.x1, self.x2, self.t1, self.t2)
+
+    @property
+    def y_query(self) -> MORQuery1D:
+        """The y-axis projection."""
+        return MORQuery1D(self.y1, self.y2, self.t1, self.t2)

@@ -1,0 +1,186 @@
+"""High-level facade: a motion database for 1-D mobile objects.
+
+:class:`MotionDatabase` is the "downstream user" API over the paper's
+machinery: register objects, report motion updates as they happen, and
+ask the full query menu —
+
+* future range reporting (the MOR query, any configured method);
+* instant snapshots (MOR1 semantics);
+* k-nearest-neighbor at a future instant (§7);
+* distance joins / proximity pairs (§7);
+* historical queries over past motion (§7), when history is enabled.
+
+The database enforces the paper's update discipline (time moves
+forward; border crossings must be reported) and exposes the I/O
+accounting of everything underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.model import (
+    LinearMotion1D,
+    MobileObject1D,
+    MotionModel,
+    Terrain1D,
+)
+from repro.core.queries import MOR1Query, MORQuery1D
+from repro.errors import InvalidMotionError, ObjectNotFoundError
+from repro.extensions.history import HistoricalIndex
+from repro.extensions.joins import index_distance_join
+from repro.extensions.neighbors import knn_at
+from repro.indexes.base import MobileIndex1D
+from repro.indexes.dual_point import DualKDTreeIndex
+from repro.indexes.hough_y_forest import HoughYForestIndex
+from repro.indexes.hybrid import HybridIndex
+from repro.io_sim.stats import IOSnapshot
+
+#: Named method factories accepted by :class:`MotionDatabase`.
+METHOD_FACTORIES: Dict[str, Callable[[MotionModel], MobileIndex1D]] = {
+    "forest": lambda m: HoughYForestIndex(m, c=4),
+    "kdtree": lambda m: DualKDTreeIndex(m),
+}
+
+
+class MotionDatabase:
+    """A ready-to-use motion database over one 1-D terrain.
+
+    Parameters
+    ----------
+    y_max, v_min, v_max:
+        The motion model: terrain extent and the moving-object speed
+        band.  Objects slower than ``v_min`` are accepted too — they go
+        to the hybrid's slow store (paper §3's population split).
+    method:
+        Fast-band index method: ``"forest"`` (§3.5.2, default) or
+        ``"kdtree"`` (§3.5.1), or pass ``index_factory`` directly.
+    keep_history:
+        Archive superseded motions and enable :meth:`query_past`.
+    """
+
+    def __init__(
+        self,
+        y_max: float,
+        v_min: float,
+        v_max: float,
+        method: str = "forest",
+        index_factory: Optional[Callable[[MotionModel], MobileIndex1D]] = None,
+        keep_history: bool = False,
+    ) -> None:
+        self.model = MotionModel(Terrain1D(y_max), v_min, v_max)
+        factory = index_factory or METHOD_FACTORIES.get(method)
+        if factory is None:
+            raise ValueError(
+                f"unknown method {method!r}; pick from "
+                f"{sorted(METHOD_FACTORIES)} or pass index_factory"
+            )
+        base: MobileIndex1D = HybridIndex(self.model, fast_factory=factory)
+        if keep_history:
+            base = HistoricalIndex(self.model, base)
+        self._index = base
+        self._history_enabled = keep_history
+        self._motions: Dict[int, LinearMotion1D] = {}
+        self._now = 0.0
+
+    # -- registration and updates -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The latest update timestamp seen."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._motions)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._motions
+
+    def register(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Add a new object with its initial motion information."""
+        motion = LinearMotion1D(y0, v, t0)
+        self._index.insert(MobileObject1D(oid, motion))
+        self._motions[oid] = motion
+        self._now = max(self._now, t0)
+
+    def report(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Process a motion update from object ``oid`` (delete+insert)."""
+        if oid not in self._motions:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        motion = LinearMotion1D(y0, v, t0)
+        self._index.update(MobileObject1D(oid, motion))
+        self._motions[oid] = motion
+        self._now = max(self._now, t0)
+
+    def deregister(self, oid: int) -> None:
+        """Remove an object (it left the system)."""
+        if oid not in self._motions:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        if self._history_enabled:
+            self._index.delete(oid, now=self._now)  # type: ignore[call-arg]
+        else:
+            self._index.delete(oid)
+        del self._motions[oid]
+
+    def location_of(self, oid: int, t: float) -> float:
+        """Extrapolated location of one object at time ``t``."""
+        motion = self._motions.get(oid)
+        if motion is None:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        return motion.position(t)
+
+    # -- queries --------------------------------------------------------------------
+
+    def within(
+        self, y1: float, y2: float, t1: float, t2: float
+    ) -> Set[int]:
+        """MOR query: objects inside ``[y1, y2]`` sometime in ``[t1, t2]``."""
+        return self._index.query(MORQuery1D(y1, y2, t1, t2))
+
+    def snapshot_at(self, y1: float, y2: float, t: float) -> Set[int]:
+        """Instant query: objects inside the range exactly at ``t``."""
+        return self._index.query(MOR1Query(y1, y2, t).as_mor())
+
+    def nearest(self, y: float, t: float, k: int = 1) -> List[Tuple[int, float]]:
+        """The ``k`` objects nearest to ``y`` at time ``t``."""
+        return knn_at(self._index, self._motions.__getitem__, y, t, k)
+
+    def proximity_pairs(
+        self, d: float, t1: float, t2: float
+    ) -> Set[Tuple[int, int]]:
+        """Unordered object pairs coming within ``d`` during the window."""
+        objects = [
+            MobileObject1D(oid, motion)
+            for oid, motion in self._motions.items()
+        ]
+        directed = index_distance_join(
+            objects, self._index, self._motions.__getitem__, d, t1, t2
+        )
+        return {(min(a, b), max(a, b)) for a, b in directed}
+
+    def query_past(
+        self, y1: float, y2: float, t1: float, t2: float
+    ) -> Set[int]:
+        """Historical MOR query (requires ``keep_history=True``)."""
+        if not self._history_enabled:
+            raise InvalidMotionError(
+                "history is disabled; construct with keep_history=True"
+            )
+        return self._index.query_past(  # type: ignore[attr-defined]
+            MORQuery1D(y1, y2, t1, t2)
+        )
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def pages_in_use(self) -> int:
+        return self._index.pages_in_use
+
+    def io_snapshot(self) -> List[IOSnapshot]:
+        return self._index.snapshot()
+
+    def io_cost_since(self, snapshot: List[IOSnapshot]) -> int:
+        return self._index.io_cost_since(snapshot)
+
+    def clear_buffers(self) -> None:
+        self._index.clear_buffers()

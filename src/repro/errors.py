@@ -1,0 +1,44 @@
+"""Exception hierarchy for the mobile-object indexing library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class PageOverflowError(ReproError):
+    """Raised when a record is appended to a disk page that is already full."""
+
+
+class PageNotFoundError(ReproError):
+    """Raised when a page id does not exist in the disk simulator."""
+
+
+class ObjectNotFoundError(ReproError):
+    """Raised when an operation references an object id that is not indexed."""
+
+
+class DuplicateObjectError(ReproError):
+    """Raised when an object id is inserted twice into the same index."""
+
+
+class InvalidQueryError(ReproError):
+    """Raised when a query is malformed (e.g. empty range, past time window)."""
+
+
+class InvalidMotionError(ReproError):
+    """Raised when motion parameters are out of the model's domain.
+
+    The paper's model requires speeds with magnitude in ``[v_min, v_max]``
+    and start locations inside the terrain.
+    """
+
+
+class IndexExpiredError(ReproError):
+    """Raised when querying a time-window index outside its valid window."""

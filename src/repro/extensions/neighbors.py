@@ -1,0 +1,120 @@
+"""Near-neighbor queries over mobile objects (paper §7 future work).
+
+"Other interesting queries are near-neighbor queries ..." — this module
+answers *k-nearest-neighbor at a future instant*: given a location
+``y`` and a time ``t``, report the ``k`` objects closest to ``y`` at
+``t`` (by their current motion information).
+
+The algorithm is the classic expanding-window reduction onto the range
+machinery the paper builds: probe ``[y - r, y + r]`` at instant ``t``
+with geometrically growing ``r`` until at least ``k`` objects answer,
+then rank the candidates exactly.  Every probe is a degenerate MOR
+query, so any :class:`~repro.indexes.base.MobileIndex1D` serves as the
+substrate and inherits its I/O behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.model import LinearMotion1D, MobileObject1D
+from repro.core.queries import MORQuery1D
+from repro.errors import InvalidQueryError
+from repro.indexes.base import MobileIndex1D
+
+#: Resolves an object id to its current motion (the caller's catalog).
+MotionLookup = Callable[[int], LinearMotion1D]
+
+
+def knn_at(
+    index: MobileIndex1D,
+    motions: MotionLookup,
+    y: float,
+    t: float,
+    k: int,
+    initial_radius: float | None = None,
+    growth: float = 2.0,
+) -> List[Tuple[int, float]]:
+    """The ``k`` objects nearest to location ``y`` at time ``t``.
+
+    Returns ``[(oid, distance), ...]`` sorted by distance (ties by id).
+    ``initial_radius`` defaults to a density-based guess; ``growth`` is
+    the expansion factor between probes.
+
+    The answer is exact: once a probe returns at least ``k`` objects,
+    one more probe at the ``k``-th candidate's distance guarantees no
+    closer object was missed outside the previous window.
+    """
+    if k <= 0:
+        raise InvalidQueryError(f"k must be positive, got {k}")
+    if growth <= 1.0:
+        raise InvalidQueryError(f"growth factor must exceed 1, got {growth}")
+    population = len(index)
+    if population == 0:
+        return []
+    k = min(k, population)
+    terrain = index.model.terrain.y_max
+    radius = (
+        initial_radius
+        if initial_radius is not None
+        else max(terrain * k / max(population, 1), terrain / 1000.0)
+    )
+    while True:
+        hits = index.query(MORQuery1D(y - radius, y + radius, t, t))
+        if len(hits) >= k:
+            ranked = _rank(hits, motions, y, t)
+            kth_distance = ranked[k - 1][1]
+            if kth_distance <= radius:
+                return ranked[:k]
+            # Candidates beyond the window edge may hide closer objects:
+            # one final probe at the k-th distance settles it.
+            hits = index.query(
+                MORQuery1D(y - kth_distance, y + kth_distance, t, t)
+            )
+            return _rank(hits, motions, y, t)[:k]
+        if radius >= terrain * 2:
+            # The whole terrain (and drift margin) was covered.
+            return _rank(hits, motions, y, t)[:k]
+        radius *= growth
+
+
+def _rank(
+    oids: Sequence[int], motions: MotionLookup, y: float, t: float
+) -> List[Tuple[int, float]]:
+    ranked = [(oid, abs(motions(oid).position(t) - y)) for oid in oids]
+    ranked.sort(key=lambda pair: (pair[1], pair[0]))
+    return ranked
+
+
+def brute_force_knn(
+    objects: Sequence[MobileObject1D], y: float, t: float, k: int
+) -> List[Tuple[int, float]]:
+    """Oracle: rank the whole population by distance at time ``t``."""
+    ranked = [
+        (obj.oid, abs(obj.motion.position(t) - y)) for obj in objects
+    ]
+    ranked.sort(key=lambda pair: (pair[1], pair[0]))
+    return ranked[:k]
+
+
+class KNNEngine:
+    """Convenience wrapper pairing an index with a motion catalog."""
+
+    def __init__(self, index: MobileIndex1D) -> None:
+        self.index = index
+        self._motions: Dict[int, LinearMotion1D] = {}
+
+    def insert(self, obj: MobileObject1D) -> None:
+        self.index.insert(obj)
+        self._motions[obj.oid] = obj.motion
+
+    def delete(self, oid: int) -> None:
+        self.index.delete(oid)
+        del self._motions[oid]
+
+    def update(self, obj: MobileObject1D) -> None:
+        self.index.update(obj)
+        self._motions[obj.oid] = obj.motion
+
+    def knn(self, y: float, t: float, k: int) -> List[Tuple[int, float]]:
+        return knn_at(self.index, self._motions.__getitem__, y, t, k)

@@ -1,0 +1,167 @@
+"""Speed-limited terrain zones (paper §7 future work).
+
+"A generalization of the 1.5-dimensional problem is when the terrain is
+subdivided into areas with various speed limits."  This module models a
+1-D terrain cut into zones, each with its own speed limit:
+
+* :class:`SpeedZones` describes the subdivision and validates motions
+  against the limit of the zone they start in (objects must issue an
+  update when they cross a zone boundary, the same discipline as the
+  terrain border rule of §3.2);
+* :class:`ZonedForestIndex` keeps one Hough-Y forest per zone, built
+  with that zone's *tighter speed band* — which shrinks the eq. (1)
+  spread factor exactly like the §7 velocity clustering, but driven by
+  geography.  Queries consult every zone's forest (an object registered
+  in one zone extrapolates beyond it until its boundary update), so
+  answers remain exact MOR semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.model import LinearMotion1D, MobileObject1D, MotionModel, Terrain1D
+from repro.core.queries import MORQuery1D
+from repro.errors import InvalidMotionError, ObjectNotFoundError
+from repro.indexes.base import MobileIndex1D
+from repro.indexes.hough_y_forest import HoughYForestIndex
+from repro.io_sim.pager import DiskSimulator
+
+
+@dataclass(frozen=True)
+class SpeedZones:
+    """A terrain ``[0, y_max]`` subdivided at ``boundaries`` with per-zone
+    speed limits.
+
+    ``boundaries`` are the interior cut points (strictly increasing,
+    inside the terrain); ``limits[i]`` caps zone ``i``'s speed.  Every
+    limit must be at least ``v_min`` (otherwise no moving object could
+    legally occupy the zone).
+    """
+
+    y_max: float
+    boundaries: Tuple[float, ...]
+    limits: Tuple[float, ...]
+    v_min: float
+
+    def __post_init__(self) -> None:
+        if len(self.limits) != len(self.boundaries) + 1:
+            raise InvalidMotionError(
+                f"{len(self.boundaries)} boundaries need "
+                f"{len(self.boundaries) + 1} limits, got {len(self.limits)}"
+            )
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise InvalidMotionError("zone boundaries must strictly increase")
+        if self.boundaries and not (
+            0.0 < self.boundaries[0] and self.boundaries[-1] < self.y_max
+        ):
+            raise InvalidMotionError("zone boundaries must lie inside the terrain")
+        if any(limit < self.v_min for limit in self.limits):
+            raise InvalidMotionError(
+                "every zone limit must be at least v_min"
+            )
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.limits)
+
+    def zone_of(self, y: float) -> int:
+        """Zone index containing location ``y`` (clamped to the terrain)."""
+        y = min(max(y, 0.0), self.y_max)
+        return bisect.bisect_right(self.boundaries, y)
+
+    def limit_of(self, y: float) -> float:
+        return self.limits[self.zone_of(y)]
+
+    def zone_bounds(self, zone: int) -> Tuple[float, float]:
+        lo = self.boundaries[zone - 1] if zone > 0 else 0.0
+        hi = (
+            self.boundaries[zone]
+            if zone < len(self.boundaries)
+            else self.y_max
+        )
+        return (lo, hi)
+
+    def validate(self, motion: LinearMotion1D) -> int:
+        """Check the motion against its start zone's limit; returns the zone."""
+        if not 0.0 <= motion.y0 <= self.y_max:
+            raise InvalidMotionError(
+                f"start location {motion.y0} outside terrain [0, {self.y_max}]"
+            )
+        zone = self.zone_of(motion.y0)
+        speed = abs(motion.v)
+        if not self.v_min <= speed <= self.limits[zone]:
+            raise InvalidMotionError(
+                f"speed {motion.v} outside zone {zone}'s band "
+                f"[{self.v_min}, {self.limits[zone]}]"
+            )
+        return zone
+
+    def next_boundary_time(self, motion: LinearMotion1D) -> float:
+        """When the object must issue its zone-crossing update."""
+        zone = self.zone_of(motion.y0)
+        lo, hi = self.zone_bounds(zone)
+        target = hi if motion.v > 0 else lo
+        if motion.v == 0:
+            return float("inf")
+        return motion.time_at(target)
+
+
+class ZonedForestIndex(MobileIndex1D):
+    """One Hough-Y forest per speed zone, each with the zone's band."""
+
+    name = "zoned-forest"
+
+    def __init__(
+        self,
+        zones: SpeedZones,
+        c: int = 4,
+        leaf_capacity: int | None = None,
+    ) -> None:
+        overall = MotionModel(
+            Terrain1D(zones.y_max), zones.v_min, max(zones.limits)
+        )
+        super().__init__(overall)
+        self.zones = zones
+        self._forests: List[HoughYForestIndex] = [
+            HoughYForestIndex(
+                MotionModel(Terrain1D(zones.y_max), zones.v_min, limit),
+                c=c,
+                leaf_capacity=leaf_capacity,
+            )
+            for limit in zones.limits
+        ]
+        self._zone_of: Dict[int, int] = {}
+
+    def insert(self, obj: MobileObject1D) -> None:
+        zone = self.zones.validate(obj.motion)
+        self._forests[zone].insert(obj)
+        self._zone_of[obj.oid] = zone
+
+    def delete(self, oid: int) -> None:
+        zone = self._zone_of.pop(oid, None)
+        if zone is None:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        self._forests[zone].delete(oid)
+
+    def query(self, query: MORQuery1D) -> Set[int]:
+        result: Set[int] = set()
+        for forest in self._forests:
+            result.update(forest.query(query))
+        return result
+
+    def zone_populations(self) -> List[int]:
+        """Objects per zone (diagnostic)."""
+        return [len(forest) for forest in self._forests]
+
+    def __len__(self) -> int:
+        return len(self._zone_of)
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        disks: List[DiskSimulator] = []
+        for forest in self._forests:
+            disks.extend(forest.disks)
+        return disks

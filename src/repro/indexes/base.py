@@ -1,0 +1,98 @@
+"""Common interface for 1-D mobile-object indexes.
+
+Every method evaluated in the paper's performance study (section 5) is
+implemented as a :class:`MobileIndex1D`: the trajectory-segment R*-tree
+baseline, the Hough-X point methods (R*-tree, kd-tree) and the Hough-Y
+B+-tree forest.  A shared interface lets the benchmark harness sweep
+methods uniformly and lets the 1.5-D route machinery (§4.1) stack any of
+them per route.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Set, Type
+
+from repro.core.model import MobileObject1D, MotionModel
+from repro.core.queries import MORQuery1D
+from repro.io_sim.pager import DiskSimulator
+from repro.io_sim.stats import IOSnapshot
+
+
+class MobileIndex1D(abc.ABC):
+    """A dynamic external-memory index over 1-D mobile objects.
+
+    Implementations own one or more :class:`DiskSimulator` instances and
+    must route every page touch through them, so that the base-class
+    accounting helpers report faithful I/O costs.
+    """
+
+    #: Short name used by the benchmark harness and the registry.
+    name: str = "abstract"
+
+    def __init__(self, model: MotionModel) -> None:
+        self.model = model
+
+    # -- core operations -----------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, obj: MobileObject1D) -> None:
+        """Index a new object (its motion info just became valid)."""
+
+    @abc.abstractmethod
+    def delete(self, oid: int) -> None:
+        """Remove an object from the index."""
+
+    @abc.abstractmethod
+    def query(self, query: MORQuery1D) -> Set[int]:
+        """Answer a 1-D MOR query with the exact set of object ids."""
+
+    def update(self, obj: MobileObject1D) -> None:
+        """Replace an object's motion info (paper §3: delete + insert)."""
+        self.delete(obj.oid)
+        self.insert(obj)
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of objects currently indexed."""
+
+    # -- I/O accounting --------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def disks(self) -> Sequence[DiskSimulator]:
+        """Every disk this index performs I/O on."""
+
+    def snapshot(self) -> List[IOSnapshot]:
+        """Capture per-disk counters; pair with :meth:`io_cost_since`."""
+        return [disk.stats.snapshot() for disk in self.disks]
+
+    def io_cost_since(self, snapshots: List[IOSnapshot]) -> int:
+        """Total page transfers since ``snapshots`` was captured."""
+        current = self.snapshot()
+        return sum(
+            (after - before).total
+            for after, before in zip(current, snapshots)
+        )
+
+    @property
+    def pages_in_use(self) -> int:
+        """Space consumption in pages — the paper's Figure 8 metric."""
+        return sum(disk.pages_in_use for disk in self.disks)
+
+    def clear_buffers(self) -> None:
+        """Empty all buffer pools (paper's pre-query protocol)."""
+        for disk in self.disks:
+            disk.clear_buffer()
+
+
+#: Registry mapping method names to index classes, for the bench harness.
+INDEX_REGISTRY: Dict[str, Type[MobileIndex1D]] = {}
+
+
+def register_index(cls: Type[MobileIndex1D]) -> Type[MobileIndex1D]:
+    """Class decorator adding an index to :data:`INDEX_REGISTRY`."""
+    if cls.name in INDEX_REGISTRY:
+        raise ValueError(f"duplicate index name {cls.name!r}")
+    INDEX_REGISTRY[cls.name] = cls
+    return cls

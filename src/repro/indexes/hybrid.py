@@ -1,0 +1,177 @@
+"""Handling the slow population, and the hybrid moving/slow split (§3).
+
+Section 3 partitions the objects "into two categories, the objects with
+low speed v ≈ 0 and the objects with speed between a minimum v_min and
+maximum speed v_max", and treats only the fast band with the dual
+methods, deferring slow objects to the restricted machinery of §3.6.
+
+:class:`SlowObjectIndex` engineers that deferral concretely: a slow
+object's position drifts at most ``v_slow * Δt``, so a B+-tree over
+positions at a reference time answers the MOR query by *expanding* the
+location range by the maximal drift and filtering candidates exactly —
+a bounded, usually tiny enlargement, in the same spirit as §3.5.2's
+bounded-``E`` rectangle.  The reference time is re-anchored (full
+rebuild) whenever the accumulated drift bound exceeds one expansion
+quantum, which keeps the enlargement bounded forever at amortised
+``O(log_B n)`` per rebuild-step per object.
+
+:class:`HybridIndex` composes any fast-band method with the slow store,
+giving a single index accepting the whole speed range ``[0, v_max]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Set
+
+from repro.bptree.tree import BPlusTree
+from repro.core.model import LinearMotion1D, MobileObject1D, MotionModel
+from repro.core.predicates import matches_1d
+from repro.core.queries import MORQuery1D
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidMotionError,
+    ObjectNotFoundError,
+)
+from repro.indexes.base import MobileIndex1D
+from repro.io_sim.layout import BPTREE_ENTRY
+from repro.io_sim.pager import DiskSimulator
+
+
+class SlowObjectIndex(MobileIndex1D):
+    """B+-tree over near-stationary objects with bounded range expansion.
+
+    Accepts motions with ``|v| <= v_slow`` (defaulting to the model's
+    ``v_min``: exactly the band the fast methods exclude).
+    """
+
+    name = "slow-objects"
+
+    def __init__(
+        self,
+        model: MotionModel,
+        v_slow: float | None = None,
+        t_ref: float = 0.0,
+        leaf_capacity: int | None = None,
+        rebuild_drift: float | None = None,
+    ) -> None:
+        super().__init__(model)
+        self.v_slow = v_slow if v_slow is not None else model.v_min
+        self.t_ref = t_ref
+        self._disk = DiskSimulator()
+        capacity = leaf_capacity or BPTREE_ENTRY.capacity(self._disk.page_size)
+        self._capacity = capacity
+        self._tree = BPlusTree(self._disk, capacity)
+        self._motions: Dict[int, LinearMotion1D] = {}
+        #: Re-anchor once drift could exceed this many terrain units.
+        self.rebuild_drift = (
+            rebuild_drift
+            if rebuild_drift is not None
+            else model.terrain.y_max / 20.0
+        )
+
+    def insert(self, obj: MobileObject1D) -> None:
+        if obj.oid in self._motions:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        if abs(obj.motion.v) > self.v_slow:
+            raise InvalidMotionError(
+                f"speed {obj.motion.v} exceeds the slow band "
+                f"|v| <= {self.v_slow}"
+            )
+        key = (obj.motion.position(self.t_ref), obj.oid)
+        self._tree.insert(key, obj.motion)
+        self._motions[obj.oid] = obj.motion
+
+    def delete(self, oid: int) -> None:
+        motion = self._motions.pop(oid, None)
+        if motion is None:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        self._tree.delete((motion.position(self.t_ref), oid))
+
+    def query(self, query: MORQuery1D) -> Set[int]:
+        """Range scan with drift expansion plus an exact filter."""
+        self._maybe_reanchor(query.t2)
+        drift = self.v_slow * max(
+            abs(query.t1 - self.t_ref), abs(query.t2 - self.t_ref)
+        )
+        lo = (query.y1 - drift, -1)
+        hi = (query.y2 + drift, float("inf"))
+        return {
+            oid
+            for (_, oid), motion in self._tree.range_items(lo, hi)
+            if matches_1d(motion, query)
+        }
+
+    def _maybe_reanchor(self, t: float) -> None:
+        """Rebuild keys at a fresh reference time once drift grows."""
+        if self.v_slow * abs(t - self.t_ref) <= self.rebuild_drift:
+            return
+        self.t_ref = t
+        entries = sorted(
+            ((motion.position(t), oid), motion)
+            for oid, motion in self._motions.items()
+        )
+        self._disk = DiskSimulator()
+        self._tree = BPlusTree(self._disk, self._capacity)
+        for key, motion in entries:
+            self._tree.insert(key, motion)
+
+    def __len__(self) -> int:
+        return len(self._motions)
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        return (self._disk,)
+
+
+#: Factory for the fast-band component of a hybrid index.
+FastFactory = Callable[[MotionModel], MobileIndex1D]
+
+
+class HybridIndex(MobileIndex1D):
+    """Route objects by speed band: §3's moving/slow population split."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        model: MotionModel,
+        fast_factory: FastFactory,
+        slow_index: SlowObjectIndex | None = None,
+    ) -> None:
+        super().__init__(model)
+        self._fast = fast_factory(model)
+        self._slow = slow_index or SlowObjectIndex(model)
+        self._band: Dict[int, str] = {}
+
+    def insert(self, obj: MobileObject1D) -> None:
+        if obj.oid in self._band:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        if abs(obj.motion.v) > self.model.v_max:
+            raise InvalidMotionError(
+                f"speed {obj.motion.v} above v_max {self.model.v_max}"
+            )
+        if self.model.is_moving(obj.motion):
+            self._fast.insert(obj)
+            self._band[obj.oid] = "fast"
+        else:
+            self._slow.insert(obj)
+            self._band[obj.oid] = "slow"
+
+    def delete(self, oid: int) -> None:
+        band = self._band.pop(oid, None)
+        if band is None:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        if band == "fast":
+            self._fast.delete(oid)
+        else:
+            self._slow.delete(oid)
+
+    def query(self, query: MORQuery1D) -> Set[int]:
+        return self._fast.query(query) | self._slow.query(query)
+
+    def __len__(self) -> int:
+        return len(self._band)
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        return tuple(self._fast.disks) + tuple(self._slow.disks)

@@ -1,0 +1,115 @@
+"""Adapter exposing the §3.6 MOR1 machinery as a 1-D index.
+
+The restricted structure answers *instant* queries (``t1 == t2``) over
+a population whose motions are fixed within each time window.  The
+adapter makes it usable alongside the other indexes:
+
+* inserts/deletes/updates are accepted and invalidate the built
+  windows; the next query rebuilds the window it needs (the paper's
+  setting — "the relative positions of the moving objects do not
+  change often" — makes rebuilds rare);
+* only degenerate-window MOR queries are accepted; a window query
+  raises :class:`~repro.errors.InvalidQueryError`, pointing the caller
+  at the unrestricted methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.core.model import MobileObject1D, MotionModel
+from repro.core.queries import MOR1Query, MORQuery1D
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+)
+from repro.indexes.base import MobileIndex1D, register_index
+from repro.io_sim.pager import DiskSimulator
+from repro.kinetic.mor1 import StaggeredMOR1Index
+
+
+@register_index
+class MOR1AdapterIndex(MobileIndex1D):
+    """Instant-query index with lazily rebuilt staggered MOR1 windows.
+
+    ``window`` is the paper's time limit ``T``: pick it so only about a
+    linear number of crossings fall inside (§3.6 discusses the choice).
+    """
+
+    name = "mor1-staggered"
+
+    def __init__(
+        self,
+        model: MotionModel,
+        window: float | None = None,
+        t0: float = 0.0,
+        page_capacity: int | None = None,
+    ) -> None:
+        super().__init__(model)
+        self.window = window if window is not None else model.t_period / 8.0
+        self.t0 = t0
+        self._page_capacity = page_capacity
+        self._objects: Dict[int, MobileObject1D] = {}
+        self._staggered: StaggeredMOR1Index | None = None
+
+    # -- maintenance ---------------------------------------------------------
+
+    def insert(self, obj: MobileObject1D) -> None:
+        if obj.oid in self._objects:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        self.model.validate(obj.motion)
+        self._objects[obj.oid] = obj
+        self._staggered = None  # population changed: rebuild lazily
+
+    def delete(self, oid: int) -> None:
+        if oid not in self._objects:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        del self._objects[oid]
+        self._staggered = None
+
+    # -- queries -----------------------------------------------------------------
+
+    def _structure(self) -> StaggeredMOR1Index:
+        if self._staggered is None:
+            self._staggered = StaggeredMOR1Index(
+                list(self._objects.values()),
+                t0=self.t0,
+                window=self.window,
+                page_capacity=self._page_capacity,
+            )
+        return self._staggered
+
+    def query(self, query: MORQuery1D) -> Set[int]:
+        if query.t1 != query.t2:
+            raise InvalidQueryError(
+                "the MOR1 structure answers single-instant queries; "
+                "use an unrestricted method for time windows"
+            )
+        if not self._objects:
+            return set()
+        return self._structure().query(
+            MOR1Query(query.y1, query.y2, query.t1)
+        )
+
+    def query_instant(self, query: MOR1Query) -> Set[int]:
+        """Answer a MOR1 query directly."""
+        if not self._objects:
+            return set()
+        return self._structure().query(query)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def built_windows(self) -> List[int]:
+        return [] if self._staggered is None else self._staggered.built_windows
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        if self._staggered is None:
+            return ()
+        return tuple(
+            structure.disk
+            for structure in self._staggered._structures.values()
+        )

@@ -1,0 +1,77 @@
+"""Linear-scan baseline: a heap file of motion records.
+
+Not part of the paper's comparison, but the honest floor every method
+must beat: ``O(n)`` I/Os per query, ``O(1)`` per update.  Used by tests
+as a second oracle and by benchmarks to show the win of real indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.core.model import MobileObject1D, MotionModel
+from repro.core.predicates import matches_1d
+from repro.core.queries import MORQuery1D
+from repro.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.indexes.base import MobileIndex1D, register_index
+from repro.io_sim.layout import BPTREE_ENTRY
+from repro.io_sim.pager import DiskSimulator
+
+
+@register_index
+class NaiveScanIndex(MobileIndex1D):
+    """Heap file: pages of motion records, scanned in full per query."""
+
+    name = "naive-scan"
+
+    def __init__(self, model: MotionModel, page_capacity: int | None = None):
+        super().__init__(model)
+        self._disk = DiskSimulator()
+        self._capacity = page_capacity or BPTREE_ENTRY.capacity(
+            self._disk.page_size
+        )
+        self._location: Dict[int, int] = {}  # oid -> page pid
+        self._pages: List[int] = []
+
+    def insert(self, obj: MobileObject1D) -> None:
+        if obj.oid in self._location:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        self.model.validate(obj.motion)
+        page = None
+        if self._pages:
+            candidate = self._disk.read(self._pages[-1])
+            if not candidate.is_full:
+                page = candidate
+        if page is None:
+            page = self._disk.allocate(self._capacity)
+            self._pages.append(page.pid)
+        page.append((obj.oid, obj.motion))
+        self._disk.write(page)
+        self._location[obj.oid] = page.pid
+
+    def delete(self, oid: int) -> None:
+        pid = self._location.pop(oid, None)
+        if pid is None:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        page = self._disk.read(pid)
+        page.items = [(o, m) for (o, m) in page.items if o != oid]
+        self._disk.write(page)
+        if not page.items and pid != self._pages[-1]:
+            self._pages.remove(pid)
+            self._disk.free(pid)
+
+    def query(self, query: MORQuery1D) -> Set[int]:
+        result: Set[int] = set()
+        for pid in self._pages:
+            page = self._disk.read(pid)
+            result.update(
+                oid for oid, motion in page.items if matches_1d(motion, query)
+            )
+        return result
+
+    def __len__(self) -> int:
+        return len(self._location)
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        return (self._disk,)

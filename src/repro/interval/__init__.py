@@ -1,0 +1,5 @@
+"""External interval index (overlap reporting) for subterrain queries."""
+
+from repro.interval.tree import IntervalIndex, IntervalTree
+
+__all__ = ["IntervalIndex", "IntervalTree"]

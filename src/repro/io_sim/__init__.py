@@ -1,0 +1,46 @@
+"""External-memory substrate: paged storage, buffering and I/O accounting.
+
+This package simulates the standard external-memory model of computation
+(Aggarwal & Vitter) that the paper uses for all of its cost claims.
+"""
+
+from repro.io_sim.buffer import LRUBuffer
+from repro.io_sim.extsort import RunFile, external_sort
+from repro.io_sim.layout import (
+    BPTREE_ENTRY,
+    DEFAULT_PAGE_SIZE,
+    INTERVAL_ENTRY,
+    KD_DIRECTORY,
+    KD_POINT,
+    KD_POINT_4D,
+    PARTITION_ENTRY,
+    PERSISTENT_ENTRY,
+    RSTAR_RECT,
+    RSTAR_SEGMENT,
+    RecordLayout,
+    page_capacity,
+)
+from repro.io_sim.pager import DiskSimulator, Page
+from repro.io_sim.stats import IOSnapshot, IOStats
+
+__all__ = [
+    "BPTREE_ENTRY",
+    "DEFAULT_PAGE_SIZE",
+    "DiskSimulator",
+    "INTERVAL_ENTRY",
+    "IOSnapshot",
+    "IOStats",
+    "KD_DIRECTORY",
+    "KD_POINT",
+    "KD_POINT_4D",
+    "LRUBuffer",
+    "Page",
+    "RunFile",
+    "PARTITION_ENTRY",
+    "PERSISTENT_ENTRY",
+    "RSTAR_RECT",
+    "RSTAR_SEGMENT",
+    "RecordLayout",
+    "external_sort",
+    "page_capacity",
+]

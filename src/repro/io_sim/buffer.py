@@ -1,0 +1,67 @@
+"""A small LRU page buffer.
+
+The paper uses a deliberately tiny buffer: "For each tree we buffer the
+path from the root to a leaf node, thus the buffer size is only 3 or 4
+pages.  For the queries we always clear the buffer pool before we run a
+query." (section 5).  :class:`LRUBuffer` reproduces that scheme: a
+fixed-capacity LRU of page ids; the benchmark harness calls
+:meth:`clear` before every query.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from repro.io_sim.pager import Page
+
+
+class LRUBuffer:
+    """Fixed-capacity least-recently-used buffer of pages.
+
+    A capacity of zero disables buffering entirely (every access is a
+    disk transfer).
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 0:
+            raise ValueError(f"buffer capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Page]" = OrderedDict()
+
+    def get(self, pid: int) -> "Optional[Page]":
+        """Return the buffered page and mark it most-recently-used."""
+        page = self._entries.get(pid)
+        if page is not None:
+            self._entries.move_to_end(pid)
+        return page
+
+    def put(self, page: "Page") -> None:
+        """Insert (or refresh) a page, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if page.pid in self._entries:
+            self._entries.move_to_end(page.pid)
+            self._entries[page.pid] = page
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[page.pid] = page
+
+    def evict(self, pid: int) -> None:
+        """Drop one page from the buffer if present (e.g. after free)."""
+        self._entries.pop(pid, None)
+
+    def clear(self) -> None:
+        """Empty the buffer (the paper's pre-query protocol)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._entries
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)

@@ -1,0 +1,76 @@
+"""I/O accounting for the external-memory simulator.
+
+The paper's experimental metric is the *number of page accesses* per
+operation (PODS '99, section 5).  :class:`IOStats` is the single place
+where those accesses are tallied; every structure in the library routes
+page reads and writes through a :class:`~repro.io_sim.pager.DiskSimulator`
+which owns one of these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOSnapshot:
+    """An immutable snapshot of the counters, used to measure an operation.
+
+    Subtracting two snapshots (``after - before``) yields the I/O cost of
+    the work done between them.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    buffer_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total page transfers (reads + writes); buffer hits are free."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            buffer_hits=self.buffer_hits - other.buffer_hits,
+        )
+
+
+class IOStats:
+    """Mutable read/write/hit counters for one simulated disk."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.buffer_hits = 0
+
+    def record_read(self) -> None:
+        self.reads += 1
+
+    def record_write(self) -> None:
+        self.writes += 1
+
+    def record_buffer_hit(self) -> None:
+        self.buffer_hits += 1
+
+    @property
+    def total(self) -> int:
+        """Total page transfers so far (reads + writes)."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.buffer_hits = 0
+
+    def snapshot(self) -> IOSnapshot:
+        """Capture the current counter values as an immutable snapshot."""
+        return IOSnapshot(self.reads, self.writes, self.buffer_hits)
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"buffer_hits={self.buffer_hits})"
+        )

@@ -1,0 +1,19 @@
+"""External bucket kd-tree (LSD-tree style) and its search regions."""
+
+from repro.kdtree.lsd import KDTree
+from repro.kdtree.regions import (
+    BIG,
+    Orthotope,
+    ProductRegion,
+    UnionRegion,
+    WedgeRegion,
+)
+
+__all__ = [
+    "BIG",
+    "KDTree",
+    "Orthotope",
+    "ProductRegion",
+    "UnionRegion",
+    "WedgeRegion",
+]

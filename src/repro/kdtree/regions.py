@@ -1,0 +1,96 @@
+"""Search regions for the external kd-tree.
+
+The kd-tree is dimension-generic (the paper uses it over 2-D Hough-X
+duals in §3.5.1 and suggests a 4-D version for planar motion in §4.2),
+so queries are expressed through a tiny region protocol:
+
+* ``may_intersect_box(lo, hi)`` — conservative pruning test against a
+  node's bounding box (never prunes a box containing an answer);
+* ``contains(point)`` — exact membership for leaf records.
+
+Three implementations cover the library's needs: axis-aligned boxes,
+2-D convex wedges embedded in a chosen pair of dimensions, and products
+of regions (the 4-D dual query is the product of an x-wedge over
+``(vx, ax)`` and a y-wedge over ``(vy, ay)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.duality import ConvexRegion
+
+#: Finite stand-in for an unbounded box side.  Kept finite so half-plane
+#: corner tests never produce ``0 * inf = nan``.
+BIG = 1e15
+
+Point = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Orthotope:
+    """Axis-aligned box query ``[lo_i, hi_i]`` in every dimension."""
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi dimension mismatch")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"malformed orthotope {self}")
+
+    def may_intersect_box(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        return all(
+            self.lo[d] <= hi[d] and lo[d] <= self.hi[d]
+            for d in range(len(self.lo))
+        )
+
+    def contains(self, point: Point) -> bool:
+        return all(
+            self.lo[d] <= point[d] <= self.hi[d] for d in range(len(self.lo))
+        )
+
+
+@dataclass(frozen=True)
+class WedgeRegion:
+    """A 2-D convex region applied to dimensions ``(dim_a, dim_b)``."""
+
+    region: ConvexRegion
+    dim_a: int = 0
+    dim_b: int = 1
+
+    def may_intersect_box(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        return self.region.may_intersect_rect(
+            lo[self.dim_a], lo[self.dim_b], hi[self.dim_a], hi[self.dim_b]
+        )
+
+    def contains(self, point: Point) -> bool:
+        return self.region.contains(point[self.dim_a], point[self.dim_b])
+
+
+@dataclass(frozen=True)
+class ProductRegion:
+    """Intersection of regions over disjoint dimension groups."""
+
+    parts: Tuple[object, ...]
+
+    def may_intersect_box(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        return all(part.may_intersect_box(lo, hi) for part in self.parts)
+
+    def contains(self, point: Point) -> bool:
+        return all(part.contains(point) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class UnionRegion:
+    """Union of regions (e.g. the four velocity-sign wedge products)."""
+
+    parts: Tuple[object, ...]
+
+    def may_intersect_box(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        return any(part.may_intersect_box(lo, hi) for part in self.parts)
+
+    def contains(self, point: Point) -> bool:
+        return any(part.contains(point) for part in self.parts)

@@ -1,0 +1,22 @@
+"""Kinetic machinery for the restricted MOR1 problem (paper §3.6)."""
+
+from repro.kinetic.crossings import (
+    Crossing,
+    count_crossings,
+    crossing_time,
+    find_crossings,
+    order_at,
+)
+from repro.kinetic.mor1 import MOR1Index, StaggeredMOR1Index
+from repro.kinetic.persistent import PersistentOrderIndex
+
+__all__ = [
+    "Crossing",
+    "MOR1Index",
+    "PersistentOrderIndex",
+    "StaggeredMOR1Index",
+    "count_crossings",
+    "crossing_time",
+    "find_crossings",
+    "order_at",
+]

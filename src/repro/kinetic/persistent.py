@@ -1,0 +1,367 @@
+"""Partially persistent embedded B-tree over an evolving ordered list
+(Lemma 4 of the paper).
+
+The MOR1 structure must answer "what was the sorted order of the
+objects at time ``t``" for any ``t`` in a window, where the order
+evolves by ``M`` adjacent swaps (crossings).  Lemma 4 stores this
+history in ``O(n + m)`` pages with ``O(log_B(n + m))`` search:
+
+* the list's *shape* never changes — ``N`` fixed positions — so a
+  static B-tree skeleton over position ranges is built once;
+* each skeleton node's evolution is stored as a chain of **version
+  pages**: a snapshot of the node state plus a *log* of later changes;
+  when the log fills the page (``O(B)`` changes), a fresh version page
+  is written and a pointer to it is *posted as a log record into the
+  parent* — exactly the paper's trick that avoids an extra
+  ``O(log_B m)`` factor per level;
+* the root's version chain is indexed by time (the paper's auxiliary
+  array); searching it locates the root version for any query time.
+
+Internal node versions also track the **first occupant** of each child
+(updated only by swaps that touch a child boundary), which lets a
+search route by object location without touching leaves — this realises
+Lemma 2's binary search over the time-``t`` order.
+
+The structure stores opaque occupant ids; callers supply a location
+function ``loc(occupant, t)`` (from the in-memory motion catalog).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidQueryError
+from repro.io_sim.pager import DiskSimulator, Page
+
+LocFn = Callable[[Any, float], float]
+
+
+@dataclass
+class _SkeletonNode:
+    """One node of the static positional B-tree skeleton."""
+
+    start: int
+    end: int  # positions [start, end)
+    children: List["_SkeletonNode"] = field(default_factory=list)
+    parent: Optional["_SkeletonNode"] = None
+    slot: int = 0  # index within parent.children
+    current_pid: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class _RootHistory:
+    """Append-only, paged time index of root version pids.
+
+    Entries arrive in nondecreasing time order.  A tiny in-memory sparse
+    index (first timestamp of each page) routes a lookup to the single
+    page that is then read and binary-searched — ``O(1)`` I/Os per
+    lookup with ``O(m / B)`` pages, standing in for the paper's
+    auxiliary array.
+    """
+
+    def __init__(self, disk: DiskSimulator, capacity: int) -> None:
+        self._disk = disk
+        self._capacity = max(2, capacity)
+        self._page_pids: List[int] = []
+        self._page_first_times: List[float] = []
+        self._last_time = float("-inf")
+
+    def append(self, time: float, pid: int) -> None:
+        if time < self._last_time:
+            raise ValueError("root history must grow in time order")
+        self._last_time = time
+        if self._page_pids:
+            page = self._disk.read(self._page_pids[-1])
+            if not page.is_full:
+                page.append((time, pid))
+                self._disk.write(page)
+                return
+        page = self._disk.allocate(self._capacity)
+        page.append((time, pid))
+        self._disk.write(page)
+        self._page_pids.append(page.pid)
+        self._page_first_times.append(time)
+
+    def root_at(self, time: float) -> int:
+        """Pid of the latest root version with timestamp <= ``time``."""
+        idx = bisect.bisect_right(self._page_first_times, time) - 1
+        if idx < 0:
+            raise InvalidQueryError(
+                f"query time {time} precedes the structure's window"
+            )
+        page = self._disk.read(self._page_pids[idx])
+        times = [t for t, _ in page.items]
+        slot = bisect.bisect_right(times, time) - 1
+        assert slot >= 0
+        return page.items[slot][1]
+
+
+class PersistentOrderIndex:
+    """Persistent history of an ordered list under adjacent swaps."""
+
+    def __init__(
+        self,
+        disk: DiskSimulator,
+        occupants: Sequence[Any],
+        t_start: float,
+        page_capacity: int = 8,
+    ) -> None:
+        if not occupants:
+            raise InvalidQueryError("cannot index an empty population")
+        if page_capacity < 4:
+            raise ValueError(
+                f"page capacity must be >= 4, got {page_capacity}"
+            )
+        self.disk = disk
+        self.n = len(occupants)
+        self.capacity = page_capacity
+        self.t_start = t_start
+        self._last_time = t_start
+        span = max(2, page_capacity // 2)
+        self._leaves = self._build_skeleton(span)
+        self._history = _RootHistory(disk, page_capacity)
+        self._init_versions(list(occupants), t_start)
+
+    # -- skeleton construction ---------------------------------------------------
+
+    def _build_skeleton(self, span: int) -> List[_SkeletonNode]:
+        leaves = [
+            _SkeletonNode(start, min(start + span, self.n))
+            for start in range(0, self.n, span)
+        ]
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            for i in range(0, len(level), span):
+                group = level[i : i + span]
+                parent = _SkeletonNode(group[0].start, group[-1].end)
+                for slot, child in enumerate(group):
+                    child.parent = parent
+                    child.slot = slot
+                parent.children = group
+                parents.append(parent)
+            level = parents
+        self._root = level[0]
+        return leaves
+
+    def _init_versions(self, occupants: List[Any], t: float) -> None:
+        for leaf in self._leaves:
+            page = self.disk.allocate(self.capacity)
+            page.meta["kind"] = "leaf"
+            for pos in range(leaf.start, leaf.end):
+                page.append(("snap", pos, occupants[pos]))
+            self.disk.write(page)
+            leaf.current_pid = page.pid
+        self._init_internal(self._root, occupants, t)
+        self._history.append(t, self._root.current_pid)
+
+    def _init_internal(
+        self, node: _SkeletonNode, occupants: List[Any], t: float
+    ) -> None:
+        if node.is_leaf:
+            return
+        for child in node.children:
+            self._init_internal(child, occupants, t)
+        page = self.disk.allocate(self.capacity)
+        page.meta["kind"] = "internal"
+        for slot, child in enumerate(node.children):
+            page.append(("snap", slot, occupants[child.start], child.current_pid))
+        self.disk.write(page)
+        node.current_pid = page.pid
+
+    # -- state reconstruction -------------------------------------------------------
+
+    @staticmethod
+    def _leaf_state(page: Page, t: Optional[float]) -> Dict[int, Any]:
+        state: Dict[int, Any] = {}
+        for record in page.items:
+            if record[0] == "snap":
+                _, pos, occ = record
+                state[pos] = occ
+            else:
+                _, pos, occ, rec_t = record
+                if t is None or rec_t <= t:
+                    state[pos] = occ
+        return state
+
+    @staticmethod
+    def _internal_state(
+        page: Page, t: Optional[float]
+    ) -> List[Tuple[Any, int]]:
+        slots: Dict[int, Tuple[Any, int]] = {}
+        for record in page.items:
+            kind = record[0]
+            if kind == "snap":
+                _, slot, first_occ, pid = record
+                slots[slot] = (first_occ, pid)
+            elif kind == "first":
+                _, slot, occ, rec_t = record
+                if t is None or rec_t <= t:
+                    slots[slot] = (occ, slots[slot][1])
+            else:  # "child"
+                _, slot, pid, rec_t = record
+                if t is None or rec_t <= t:
+                    slots[slot] = (slots[slot][0], pid)
+        return [slots[i] for i in range(len(slots))]
+
+    # -- version-page appends ----------------------------------------------------------
+
+    def _append_leaf(self, leaf: _SkeletonNode, record: Tuple) -> None:
+        page = self.disk.read(leaf.current_pid)
+        if page.is_full:
+            state = self._leaf_state(page, None)
+            state[record[1]] = record[2]
+            t = record[3]
+            fresh = self.disk.allocate(self.capacity)
+            fresh.meta["kind"] = "leaf"
+            for pos in range(leaf.start, leaf.end):
+                fresh.append(("snap", pos, state[pos]))
+            self.disk.write(fresh)
+            leaf.current_pid = fresh.pid
+            self._post_new_version(leaf, fresh.pid, t)
+            return
+        page.append(record)
+        self.disk.write(page)
+
+    def _append_internal(self, node: _SkeletonNode, record: Tuple) -> None:
+        page = self.disk.read(node.current_pid)
+        if page.is_full:
+            state = self._internal_state(page, None)
+            slot = record[1]
+            if record[0] == "first":
+                state[slot] = (record[2], state[slot][1])
+            else:
+                state[slot] = (state[slot][0], record[2])
+            t = record[3]
+            fresh = self.disk.allocate(self.capacity)
+            fresh.meta["kind"] = "internal"
+            for i, (first_occ, pid) in enumerate(state):
+                fresh.append(("snap", i, first_occ, pid))
+            self.disk.write(fresh)
+            node.current_pid = fresh.pid
+            self._post_new_version(node, fresh.pid, t)
+            return
+        page.append(record)
+        self.disk.write(page)
+
+    def _post_new_version(
+        self, node: _SkeletonNode, new_pid: int, t: float
+    ) -> None:
+        if node.parent is None:
+            self._history.append(t, new_pid)
+        else:
+            self._append_internal(node.parent, ("child", node.slot, new_pid, t))
+
+    # -- updates --------------------------------------------------------------------------
+
+    def current_occupant(self, pos: int) -> Any:
+        """Occupant of ``pos`` in the latest version."""
+        leaf = self._leaf_for(pos)
+        page = self.disk.read(leaf.current_pid)
+        return self._leaf_state(page, None)[pos]
+
+    def _leaf_for(self, pos: int) -> _SkeletonNode:
+        if not 0 <= pos < self.n:
+            raise InvalidQueryError(f"position {pos} out of range")
+        span = self._leaves[0].end - self._leaves[0].start
+        return self._leaves[pos // span]
+
+    def apply_swap(self, pos: int, t: float) -> None:
+        """Swap the occupants of ``pos`` and ``pos + 1`` at time ``t``.
+
+        Swaps must arrive in nondecreasing time order (crossings do).
+        """
+        if not 0 <= pos < self.n - 1:
+            raise InvalidQueryError(f"cannot swap at position {pos}")
+        if t < self._last_time:
+            raise InvalidQueryError("swaps must be applied in time order")
+        self._last_time = t
+        left = self._leaf_for(pos)
+        right = self._leaf_for(pos + 1)
+        o1 = self.current_occupant(pos)
+        o2 = self.current_occupant(pos + 1)
+        self._append_leaf(left, ("occ", pos, o2, t))
+        self._append_leaf(right, ("occ", pos + 1, o1, t))
+        self._update_boundary_occupants(pos, o2, t)
+        self._update_boundary_occupants(pos + 1, o1, t)
+
+    def _update_boundary_occupants(self, pos: int, occ: Any, t: float) -> None:
+        """Refresh 'first occupant' routing info along the ancestor chain."""
+        node: Optional[_SkeletonNode] = self._leaf_for(pos)
+        while node is not None and node.parent is not None:
+            if node.start != pos:
+                break
+            self._append_internal(node.parent, ("first", node.slot, occ, t))
+            node = node.parent
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def order_at(self, t: float) -> List[Any]:
+        """Full occupant list at time ``t`` (test helper; reads all leaves)."""
+        result: List[Any] = []
+        self._collect_order(self._history.root_at(t), t, result)
+        return result
+
+    def _collect_order(self, pid: int, t: float, out: List[Any]) -> None:
+        page = self.disk.read(pid)
+        if page.meta["kind"] == "leaf":
+            state = self._leaf_state(page, t)
+            out.extend(state[pos] for pos in sorted(state))
+            return
+        for _, child_pid in self._internal_state(page, t):
+            self._collect_order(child_pid, t, out)
+
+    def range_query(
+        self, t: float, lo: float, hi: float, loc: LocFn
+    ) -> List[Any]:
+        """Occupants whose location at time ``t`` lies in ``[lo, hi]``.
+
+        Routes by the per-child first-occupant locations (Lemma 2's
+        binary search) so only boundary paths plus answer leaves are
+        read.
+        """
+        if lo > hi:
+            raise InvalidQueryError(f"empty range [{lo}, {hi}]")
+        result: List[Any] = []
+        self._range_node(self._history.root_at(t), t, lo, hi, loc, result)
+        return result
+
+    def _range_node(
+        self,
+        pid: int,
+        t: float,
+        lo: float,
+        hi: float,
+        loc: LocFn,
+        out: List[Any],
+    ) -> None:
+        page = self.disk.read(pid)
+        if page.meta["kind"] == "leaf":
+            state = self._leaf_state(page, t)
+            for pos in sorted(state):
+                value = loc(state[pos], t)
+                if lo <= value <= hi:
+                    out.append(state[pos])
+            return
+        children = self._internal_state(page, t)
+        mins = [loc(first_occ, t) for first_occ, _ in children]
+        for i, (_, child_pid) in enumerate(children):
+            if mins[i] > hi:
+                break
+            if i + 1 < len(mins) and mins[i + 1] < lo:
+                continue
+            self._range_node(child_pid, t, lo, hi, loc, out)
+
+    @property
+    def height(self) -> int:
+        node = self._root
+        h = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h

@@ -1,0 +1,30 @@
+"""Partition trees: the paper's almost-optimal simplex structure (§3.4)."""
+
+from repro.partition.dynamic import DynamicPartitionTree
+from repro.partition.highdim import HDPartitionTree, partition_nd
+from repro.partition.simplicial import (
+    ConvexCell,
+    Line,
+    Triangle,
+    bounding_cell,
+    bounding_triangle,
+    crossing_number,
+    random_probe_lines,
+    simplicial_partition,
+)
+from repro.partition.tree import PartitionTree
+
+__all__ = [
+    "ConvexCell",
+    "DynamicPartitionTree",
+    "HDPartitionTree",
+    "Line",
+    "PartitionTree",
+    "Triangle",
+    "bounding_cell",
+    "partition_nd",
+    "bounding_triangle",
+    "crossing_number",
+    "random_probe_lines",
+    "simplicial_partition",
+]

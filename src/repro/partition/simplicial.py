@@ -1,0 +1,249 @@
+"""Simplicial partitions (Matoušek '92) — practical construction.
+
+A *simplicial partition* of a point set S is a set of pairs
+``(S_i, Δ_i)`` where the ``S_i`` partition S and each triangle ``Δ_i``
+contains ``S_i``; its quality is its *crossing number* — the maximum
+number of triangles any line crosses.  Matoušek showed balanced
+partitions of size ``r`` with crossing number ``O(√r)`` exist and yield
+partition trees with ``O(N^{1/2+ε})`` query time (paper §3.4).
+
+Matoušek's existence proof machinery (test sets via cuttings, iterative
+re-weighting) is impractical to reproduce verbatim.  We build the
+partition by **recursive median splits** on the wider-spread coordinate
+(a balanced adaptive grid), then wrap each cell's points in a bounding
+triangle:
+
+* the partition is *balanced* by construction (cell sizes within a
+  factor of two);
+* a line crosses ``O(√r)`` cells of such an adaptive grid — each
+  crossing advances the line past one of ``O(√r)`` column or row
+  boundaries.  The empirical constant, asserted in tests and charted by
+  the §3.4 ablation bench, is ≈ 2.5·√r for random probe lines —
+  the same asymptotics the theory demands, with a small constant.
+
+This substitution is recorded in DESIGN.md.  Query *correctness* never
+depends on the crossing number; only the I/O bound does, and the
+benchmark verifies the measured ``~√n`` query growth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.duality import ConvexRegion
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Line:
+    """The line ``a*x + b*y = c`` with ``(a, b)`` normalised."""
+
+    a: float
+    b: float
+    c: float
+
+    @staticmethod
+    def through(p: Point, q: Point) -> "Line":
+        """Line through two distinct points."""
+        a = q[1] - p[1]
+        b = p[0] - q[0]
+        norm = math.hypot(a, b)
+        if norm == 0:
+            raise ValueError("cannot build a line through coincident points")
+        a, b = a / norm, b / norm
+        return Line(a, b, a * p[0] + b * p[1])
+
+    def side(self, p: Point) -> int:
+        """+1 / -1 / 0 for the two open half-planes and the line itself."""
+        value = self.a * p[0] + self.b * p[1] - self.c
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+        return 0
+
+
+@dataclass(frozen=True)
+class ConvexCell:
+    """A closed convex polygon cell given by its boundary vertices.
+
+    Matoušek's partitions use triangles; any convex container preserves
+    correctness, and the partition tree stores each cell's *bounding
+    box* (a 4-vertex cell) because it hugs the points far more tightly
+    than a covering triangle — a box is just two triangles, so the
+    crossing-number argument is unchanged up to a factor of two, while
+    the dead area that drags extra cells into every query shrinks a lot.
+    """
+
+    vertices: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a convex cell needs at least three vertices")
+
+    def contains(self, p: Point, eps: float = 1e-9) -> bool:
+        """Half-plane sign test; boundary points count as inside."""
+        sign = 0
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (
+                p[0] - a[0]
+            )
+            if cross > eps:
+                if sign < 0:
+                    return False
+                sign = 1
+            elif cross < -eps:
+                if sign > 0:
+                    return False
+                sign = -1
+        return True
+
+    def crossed_by(self, line: Line) -> bool:
+        """True when the line meets the cell's interior or boundary."""
+        sides = [line.side(v) for v in self.vertices]
+        return not (all(s > 0 for s in sides) or all(s < 0 for s in sides))
+
+    def outside_region(self, region: ConvexRegion) -> bool:
+        """Certainly disjoint from the convex region (conservative).
+
+        True when all vertices violate one common half-plane — then the
+        whole cell lies outside it, hence outside the region.
+        """
+        for hp in region.constraints:
+            if all(not hp.contains(v[0], v[1]) for v in self.vertices):
+                return True
+        return False
+
+    def inside_region(self, region: ConvexRegion) -> bool:
+        """Entirely inside the convex region (exact: convexity)."""
+        return all(region.contains(v[0], v[1]) for v in self.vertices)
+
+
+@dataclass(frozen=True)
+class Triangle(ConvexCell):
+    """A closed triangle (the simplex of Matoušek's construction)."""
+
+    def __init__(self, v0: Point, v1: Point, v2: Point) -> None:
+        object.__setattr__(self, "vertices", (v0, v1, v2))
+
+    @property
+    def v0(self) -> Point:
+        return self.vertices[0]
+
+    @property
+    def v1(self) -> Point:
+        return self.vertices[1]
+
+    @property
+    def v2(self) -> Point:
+        return self.vertices[2]
+
+
+def bounding_cell(points: Sequence[Point]) -> ConvexCell:
+    """The tight bounding box of the points as a 4-vertex convex cell."""
+    if not points:
+        raise ValueError("bounding cell of an empty set")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    return ConvexCell(
+        ((lo_x, lo_y), (hi_x, lo_y), (hi_x, hi_y), (lo_x, hi_y))
+    )
+
+
+def bounding_triangle(points: Sequence[Point], pad: float = 1.0) -> Triangle:
+    """A triangle covering all points with a little slack.
+
+    Built over the padded bounding box: base below the box, apex above;
+    the base spans enough that the slanted sides clear the top corners.
+    """
+    if not points:
+        raise ValueError("bounding triangle of an empty set")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo_x, hi_x = min(xs) - pad, max(xs) + pad
+    lo_y, hi_y = min(ys) - pad, max(ys) + pad
+    width = hi_x - lo_x
+    height = hi_y - lo_y
+    return Triangle(
+        (lo_x - width / 2 - pad, lo_y),
+        (hi_x + width / 2 + pad, lo_y),
+        ((lo_x + hi_x) / 2, hi_y + height + pad),
+    )
+
+
+#: One cell of a simplicial partition.
+Cell = Tuple[List[Tuple[Point, Any]], ConvexCell]
+
+
+def simplicial_partition(
+    entries: Sequence[Tuple[Point, Any]],
+    r: int,
+    rng: random.Random | None = None,
+) -> List[Cell]:
+    """Partition ``entries`` into ``<= r`` balanced triangle cells.
+
+    Cells are produced by recursive median splits along the coordinate
+    with the larger spread; every cell gets the bounding triangle of its
+    own points, so triangles of sibling cells may overlap slightly at
+    shared boundaries (only the point sets are disjoint, exactly as in
+    Matoušek's definition).
+
+    ``rng`` is accepted for interface stability but unused — the
+    construction is deterministic.
+    """
+    if r < 1:
+        raise ValueError(f"partition size must be >= 1, got {r}")
+    entries = list(entries)
+    if not entries:
+        return []
+    cells: List[Cell] = []
+    _split(entries, r, cells)
+    return cells
+
+
+def _split(entries: List[Tuple[Point, Any]], k: int, out: List[Cell]) -> None:
+    if k <= 1 or len(entries) <= 2:
+        out.append((entries, bounding_cell([p for p, _ in entries])))
+        return
+    xs = [p[0] for p, _ in entries]
+    ys = [p[1] for p, _ in entries]
+    axis = 0 if (max(xs) - min(xs)) >= (max(ys) - min(ys)) else 1
+    entries.sort(key=lambda e: e[0][axis])
+    mid = len(entries) // 2
+    # Degenerate data (all coordinates equal) cannot be separated; stop.
+    if entries[0][0] == entries[-1][0]:
+        out.append((entries, bounding_cell([p for p, _ in entries])))
+        return
+    _split(entries[:mid], k // 2, out)
+    _split(entries[mid:], k - k // 2, out)
+
+
+def crossing_number(cells: Sequence[Cell], line: Line) -> int:
+    """How many cells of a partition the given line crosses."""
+    return sum(1 for _, triangle in cells if triangle.crossed_by(line))
+
+
+def random_probe_lines(
+    entries: Sequence[Tuple[Point, Any]],
+    count: int,
+    rng: random.Random,
+) -> List[Line]:
+    """Probe lines through random point pairs (for crossing statistics)."""
+    lines: List[Line] = []
+    attempts = 0
+    while len(lines) < count and attempts < 20 * count:
+        attempts += 1
+        p, _ = entries[rng.randrange(len(entries))]
+        q, _ = entries[rng.randrange(len(entries))]
+        if p != q:
+            lines.append(Line.through(p, q))
+    return lines

@@ -1,0 +1,6 @@
+"""Disk-based R*-tree (Beckmann et al. 1990) with linear-constraint search."""
+
+from repro.rtree.geometry import Rect, bounding_rect
+from repro.rtree.rstar import RStarTree
+
+__all__ = ["RStarTree", "Rect", "bounding_rect"]

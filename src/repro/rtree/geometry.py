@@ -1,0 +1,105 @@
+"""Rectangle geometry used by the R*-tree.
+
+Everything is 2-D and axis-aligned.  Rectangles are closed; degenerate
+rectangles (points, vertical/horizontal segments) are allowed — the
+Hough-X point methods store dual points as zero-area rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[lo_x, hi_x] x [lo_y, hi_y]``."""
+
+    lo_x: float
+    lo_y: float
+    hi_x: float
+    hi_y: float
+
+    def __post_init__(self) -> None:
+        if self.lo_x > self.hi_x or self.lo_y > self.hi_y:
+            raise ValueError(f"malformed rectangle {self}")
+
+    @staticmethod
+    def point(x: float, y: float) -> "Rect":
+        """The degenerate rectangle covering a single point."""
+        return Rect(x, y, x, y)
+
+    @staticmethod
+    def segment_mbr(
+        x1: float, y1: float, x2: float, y2: float
+    ) -> "Rect":
+        """Minimum bounding rectangle of a line segment."""
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @property
+    def area(self) -> float:
+        return (self.hi_x - self.lo_x) * (self.hi_y - self.lo_y)
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split quality measure."""
+        return (self.hi_x - self.lo_x) + (self.hi_y - self.lo_y)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.lo_x + self.hi_x) / 2.0, (self.lo_y + self.hi_y) / 2.0)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.lo_x, other.lo_x),
+            min(self.lo_y, other.lo_y),
+            max(self.hi_x, other.hi_x),
+            max(self.hi_y, other.hi_y),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.lo_x <= other.hi_x
+            and other.lo_x <= self.hi_x
+            and self.lo_y <= other.hi_y
+            and other.lo_y <= self.hi_y
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        dx = min(self.hi_x, other.hi_x) - max(self.lo_x, other.lo_x)
+        dy = min(self.hi_y, other.hi_y) - max(self.lo_y, other.lo_y)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.lo_x <= other.lo_x
+            and self.lo_y <= other.lo_y
+            and self.hi_x >= other.hi_x
+            and self.hi_y >= other.hi_y
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.lo_x <= x <= self.hi_x and self.lo_y <= y <= self.hi_y
+
+    def enlargement(self, other: "Rect") -> float:
+        """Extra area needed to cover ``other`` (the Guttman criterion)."""
+        return self.union(other).area - self.area
+
+    def center_distance_sq(self, other: "Rect") -> float:
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return (cx1 - cx2) ** 2 + (cy1 - cy2) ** 2
+
+
+def bounding_rect(rects: Iterable[Rect]) -> Rect:
+    """Union of a non-empty collection of rectangles."""
+    iterator = iter(rects)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_rect of an empty collection") from None
+    for rect in iterator:
+        result = result.union(rect)
+    return result

@@ -1,0 +1,20 @@
+"""Two-dimensional extensions: route networks (1.5-D) and planar motion."""
+
+from repro.twod.planar import (
+    PlanarDecompositionIndex,
+    PlanarKDTreeIndex,
+    PlanarModel,
+    axis_wedge,
+)
+from repro.twod.routes import Route, RouteNetworkIndex
+from repro.twod.tpr2d import PlanarTPRTreeIndex
+
+__all__ = [
+    "PlanarDecompositionIndex",
+    "PlanarKDTreeIndex",
+    "PlanarModel",
+    "PlanarTPRTreeIndex",
+    "Route",
+    "RouteNetworkIndex",
+    "axis_wedge",
+]

@@ -1,0 +1,257 @@
+"""The general 2-dimensional problem: free motion on the plane (§4.2).
+
+A planar linear motion projects onto a line in each of the ``(x, t)``
+and ``(y, t)`` planes, so its dual is the 4-D point
+``(vx, ax, vy, ay)``.  The 2-D MOR query maps to the intersection of
+the two per-axis Proposition-1 wedges — a simplex in 4-D.  The paper
+proposes (a) a 4-D partition tree, (b) "a simple approach ... an index
+based on the kd-tree", and (c) decomposing into two 1-D queries whose
+answers are intersected.  This module implements (b) and (c):
+
+* :class:`PlanarKDTreeIndex` — one 4-D external kd-tree over the dual
+  points, searched with the union (over the four velocity-sign
+  combinations) of wedge-product regions;
+* :class:`PlanarDecompositionIndex` — two 2-D dual kd-trees, one per
+  axis; the per-axis candidate sets are intersected.
+
+Both filter their candidates with the exact 2-D predicate: matching
+each axis *sometime* in the window is necessary but not sufficient —
+the per-axis time intervals must overlap (see
+:func:`repro.core.predicates.matches_2d`), which is exactly the
+imprecision the paper accepts when it intersects the two 1-D answers.
+
+Per-axis velocities are in ``[-v_max, v_max]`` and may be zero (an
+object can move parallel to an axis), so the sign split is ``v >= 0``
+vs ``v < 0`` and no per-axis minimum speed exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set
+
+from repro.core.duality import ConvexRegion, HalfPlane, hough_x_2d
+from repro.core.model import LinearMotion2D, MobileObject2D, Terrain2D
+from repro.core.predicates import matches_2d
+from repro.core.queries import MORQuery1D, MORQuery2D
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidMotionError,
+    ObjectNotFoundError,
+)
+from repro.io_sim.layout import KD_POINT, KD_POINT_4D
+from repro.io_sim.pager import DiskSimulator
+from repro.kdtree.lsd import KDTree
+from repro.kdtree.regions import ProductRegion, UnionRegion, WedgeRegion
+
+
+@dataclass(frozen=True)
+class PlanarModel:
+    """Model parameters for free planar motion."""
+
+    terrain: Terrain2D
+    v_max: float
+
+    def __post_init__(self) -> None:
+        if self.v_max <= 0:
+            raise InvalidMotionError(f"v_max must be positive, got {self.v_max}")
+
+    def validate(self, motion: LinearMotion2D) -> None:
+        if abs(motion.vx) > self.v_max or abs(motion.vy) > self.v_max:
+            raise InvalidMotionError(
+                f"velocity ({motion.vx}, {motion.vy}) exceeds |v| <= {self.v_max}"
+            )
+        if not self.terrain.contains(motion.x0, motion.y0):
+            raise InvalidMotionError(
+                f"start ({motion.x0}, {motion.y0}) outside terrain"
+            )
+
+
+def axis_wedge(
+    query: MORQuery1D, sign: int, v_cap: float, t_ref: float = 0.0
+) -> ConvexRegion:
+    """Proposition-1 wedge for one axis with velocities of one sign.
+
+    Unlike the 1-D model there is no per-axis minimum speed: the
+    positive wedge covers ``0 <= v <= v_cap`` and the negative wedge
+    ``-v_cap <= v < 0`` (zero-velocity points are stored in the
+    positive group).
+    """
+    t1 = query.t1 - t_ref
+    t2 = query.t2 - t_ref
+    if sign > 0:
+        return ConvexRegion(
+            (
+                HalfPlane(-1.0, 0.0, 0.0),  # v >= 0
+                HalfPlane(1.0, 0.0, v_cap),  # v <= v_cap
+                HalfPlane(-t2, -1.0, -query.y1),  # a + t2*v >= y1
+                HalfPlane(t1, 1.0, query.y2),  # a + t1*v <= y2
+            )
+        )
+    return ConvexRegion(
+        (
+            HalfPlane(1.0, 0.0, 0.0),  # v <= 0
+            HalfPlane(-1.0, 0.0, v_cap),  # v >= -v_cap
+            HalfPlane(-t1, -1.0, -query.y1),  # a + t1*v >= y1
+            HalfPlane(t2, 1.0, query.y2),  # a + t2*v <= y2
+        )
+    )
+
+
+class PlanarKDTreeIndex:
+    """4-D dual points ``(vx, ax, vy, ay)`` in one external kd-tree."""
+
+    name = "planar-kdtree-4d"
+
+    def __init__(
+        self,
+        model: PlanarModel,
+        t_ref: float = 0.0,
+        leaf_capacity: int | None = None,
+    ) -> None:
+        self.model = model
+        self.t_ref = t_ref
+        self._disk = DiskSimulator()
+        capacity = leaf_capacity or KD_POINT_4D.capacity(self._disk.page_size)
+        self._tree = KDTree(self._disk, dims=4, leaf_capacity=capacity)
+        self._motions: Dict[int, LinearMotion2D] = {}
+
+    def insert(self, obj: MobileObject2D) -> None:
+        if obj.oid in self._motions:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        self.model.validate(obj.motion)
+        self._tree.insert(hough_x_2d(obj.motion, self.t_ref), obj.oid)
+        self._motions[obj.oid] = obj.motion
+
+    def delete(self, oid: int) -> None:
+        if oid not in self._motions:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        self._tree.delete(oid)
+        del self._motions[oid]
+
+    def update(self, obj: MobileObject2D) -> None:
+        self.delete(obj.oid)
+        self.insert(obj)
+
+    def query(self, query: MORQuery2D) -> Set[int]:
+        """Search the union of the four sign-combination wedge products."""
+        v_cap = self.model.v_max
+        parts = []
+        for sx in (1, -1):
+            for sy in (1, -1):
+                parts.append(
+                    ProductRegion(
+                        (
+                            WedgeRegion(
+                                axis_wedge(query.x_query, sx, v_cap, self.t_ref),
+                                0,
+                                1,
+                            ),
+                            WedgeRegion(
+                                axis_wedge(query.y_query, sy, v_cap, self.t_ref),
+                                2,
+                                3,
+                            ),
+                        )
+                    )
+                )
+        region = UnionRegion(tuple(parts))
+        candidates = self._tree.search(region)
+        return {
+            oid
+            for _, oid in candidates
+            if matches_2d(self._motions[oid], query)
+        }
+
+    def __len__(self) -> int:
+        return len(self._motions)
+
+    @property
+    def pages_in_use(self) -> int:
+        return self._disk.pages_in_use
+
+    def clear_buffers(self) -> None:
+        self._disk.clear_buffer()
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        return (self._disk,)
+
+
+class PlanarDecompositionIndex:
+    """Per-axis decomposition: two 2-D dual trees, answers intersected."""
+
+    name = "planar-decomposition"
+
+    def __init__(
+        self,
+        model: PlanarModel,
+        t_ref: float = 0.0,
+        leaf_capacity: int | None = None,
+    ) -> None:
+        self.model = model
+        self.t_ref = t_ref
+        self._disks = {"x": DiskSimulator(), "y": DiskSimulator()}
+        capacity = leaf_capacity or KD_POINT.capacity(
+            self._disks["x"].page_size
+        )
+        self._trees = {
+            axis: KDTree(self._disks[axis], dims=2, leaf_capacity=capacity)
+            for axis in ("x", "y")
+        }
+        self._motions: Dict[int, LinearMotion2D] = {}
+
+    def insert(self, obj: MobileObject2D) -> None:
+        if obj.oid in self._motions:
+            raise DuplicateObjectError(f"object {obj.oid} already indexed")
+        self.model.validate(obj.motion)
+        vx, ax, vy, ay = hough_x_2d(obj.motion, self.t_ref)
+        self._trees["x"].insert((vx, ax), obj.oid)
+        self._trees["y"].insert((vy, ay), obj.oid)
+        self._motions[obj.oid] = obj.motion
+
+    def delete(self, oid: int) -> None:
+        if oid not in self._motions:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        self._trees["x"].delete(oid)
+        self._trees["y"].delete(oid)
+        del self._motions[oid]
+
+    def update(self, obj: MobileObject2D) -> None:
+        self.delete(obj.oid)
+        self.insert(obj)
+
+    def _axis_candidates(self, axis: str, query: MORQuery1D) -> Set[int]:
+        v_cap = self.model.v_max
+        result: Set[int] = set()
+        for sign in (1, -1):
+            wedge = axis_wedge(query, sign, v_cap, self.t_ref)
+            result.update(
+                oid for _, oid in self._trees[axis].search(WedgeRegion(wedge))
+            )
+        return result
+
+    def query(self, query: MORQuery2D) -> Set[int]:
+        """Intersect the per-axis 1-D answers, then filter exactly."""
+        x_hits = self._axis_candidates("x", query.x_query)
+        y_hits = self._axis_candidates("y", query.y_query)
+        return {
+            oid
+            for oid in x_hits & y_hits
+            if matches_2d(self._motions[oid], query)
+        }
+
+    def __len__(self) -> int:
+        return len(self._motions)
+
+    @property
+    def pages_in_use(self) -> int:
+        return sum(d.pages_in_use for d in self._disks.values())
+
+    def clear_buffers(self) -> None:
+        for disk in self._disks.values():
+            disk.clear_buffer()
+
+    @property
+    def disks(self) -> Sequence[DiskSimulator]:
+        return tuple(self._disks.values())

@@ -1,0 +1,257 @@
+"""The 1.5-dimensional problem: objects moving on a route network (§4.1).
+
+Real fleets move on highways and airways, so the paper models the plane
+as a collection of predefined routes — polylines of connected straight
+segments — and reduces the 2-D MOR query to 1-D queries:
+
+* a standard SAM (our R*-tree) indexes the positions of all route
+  segments on the terrain;
+* each route carries its own 1-D mobile-object index over the *arc
+  length* coordinate along the route;
+* a 2-D query first asks the SAM which route segments meet the query
+  rectangle, clips those segments to the rectangle to get arc-length
+  intervals, and runs one 1-D MOR query per interval on that route's
+  index.
+
+The paper notes the SAM is cheap to maintain: routes are few, short to
+describe and rarely change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.model import (
+    LinearMotion1D,
+    MobileObject1D,
+    MotionModel,
+    Terrain1D,
+)
+from repro.core.queries import MORQuery1D, MORQuery2D
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidMotionError,
+    ObjectNotFoundError,
+)
+from repro.indexes.base import MobileIndex1D
+from repro.indexes.hough_y_forest import HoughYForestIndex
+from repro.io_sim.layout import RSTAR_SEGMENT
+from repro.io_sim.pager import DiskSimulator
+from repro.rtree.geometry import Rect
+from repro.rtree.rstar import RStarTree
+
+Point2 = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A polyline route with an arc-length parameterisation."""
+
+    route_id: int
+    points: Tuple[Point2, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise InvalidMotionError("a route needs at least two points")
+        for p, q in zip(self.points, self.points[1:]):
+            if p == q:
+                raise InvalidMotionError("route has a zero-length segment")
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.points) - 1
+
+    @property
+    def offsets(self) -> Tuple[float, ...]:
+        """Cumulative arc length at the start of each segment."""
+        acc = [0.0]
+        for p, q in zip(self.points, self.points[1:]):
+            acc.append(acc[-1] + math.dist(p, q))
+        return tuple(acc)
+
+    @property
+    def length(self) -> float:
+        return self.offsets[-1]
+
+    def segment(self, i: int) -> Tuple[Point2, Point2]:
+        return (self.points[i], self.points[i + 1])
+
+    def position_at(self, s: float) -> Point2:
+        """Planar point at arc length ``s`` (clamped to the route)."""
+        offsets = self.offsets
+        s = min(max(s, 0.0), self.length)
+        for i in range(self.segment_count):
+            if s <= offsets[i + 1] or i == self.segment_count - 1:
+                p, q = self.segment(i)
+                span = offsets[i + 1] - offsets[i]
+                f = (s - offsets[i]) / span
+                return (p[0] + f * (q[0] - p[0]), p[1] + f * (q[1] - p[1]))
+        raise AssertionError("unreachable")
+
+    def clip_segment_to_rect(
+        self, i: int, rect: Rect
+    ) -> Optional[Tuple[float, float]]:
+        """Arc-length interval of segment ``i`` inside ``rect`` (or None).
+
+        Liang-Barsky parametric clipping of the segment against the
+        rectangle, mapped to arc length.
+        """
+        (x0, y0), (x1, y1) = self.segment(i)
+        dx, dy = x1 - x0, y1 - y0
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, x0 - rect.lo_x),
+            (dx, rect.hi_x - x0),
+            (-dy, y0 - rect.lo_y),
+            (dy, rect.hi_y - y0),
+        ):
+            if p == 0:
+                if q < 0:
+                    return None  # parallel and outside
+                continue
+            r = q / p
+            if p < 0:
+                if r > t1:
+                    return None
+                t0 = max(t0, r)
+            else:
+                if r < t0:
+                    return None
+                t1 = min(t1, r)
+        if t0 > t1:
+            return None
+        offsets = self.offsets
+        span = offsets[i + 1] - offsets[i]
+        return (offsets[i] + t0 * span, offsets[i] + t1 * span)
+
+
+#: Builds the per-route 1-D index given that route's motion model.
+RouteIndexFactory = Callable[[MotionModel], MobileIndex1D]
+
+
+def _default_factory(model: MotionModel) -> MobileIndex1D:
+    return HoughYForestIndex(model, c=4)
+
+
+class RouteNetworkIndex:
+    """The paper's 1.5-D method: SAM over routes + per-route 1-D indexes.
+
+    Objects are registered on a route with a linear *arc-length* motion
+    (``s(t) = s0 + v (t - t0)``); per-route indexes answer the 1-D
+    queries the 2-D query decomposes into.  Objects reaching a route
+    endpoint must issue an update, mirroring the terrain-border rule.
+    """
+
+    def __init__(
+        self,
+        routes: Sequence[Route],
+        v_min: float,
+        v_max: float,
+        index_factory: RouteIndexFactory = _default_factory,
+    ) -> None:
+        if not routes:
+            raise InvalidMotionError("a route network needs at least one route")
+        self.routes: Dict[int, Route] = {}
+        self.v_min = v_min
+        self.v_max = v_max
+        self._sam_disk = DiskSimulator()
+        capacity = RSTAR_SEGMENT.capacity(self._sam_disk.page_size)
+        self._sam = RStarTree(self._sam_disk, capacity, capacity)
+        self._route_indexes: Dict[int, MobileIndex1D] = {}
+        self._route_of: Dict[int, int] = {}
+        for route in routes:
+            if route.route_id in self.routes:
+                raise DuplicateObjectError(
+                    f"duplicate route id {route.route_id}"
+                )
+            self.routes[route.route_id] = route
+            for i in range(route.segment_count):
+                (x0, y0), (x1, y1) = route.segment(i)
+                self._sam.insert(
+                    Rect.segment_mbr(x0, y0, x1, y1), (route.route_id, i)
+                )
+            model = MotionModel(Terrain1D(route.length), v_min, v_max)
+            self._route_indexes[route.route_id] = index_factory(model)
+
+    def __len__(self) -> int:
+        return len(self._route_of)
+
+    # -- object maintenance ---------------------------------------------------
+
+    def insert(self, oid: int, route_id: int, motion: LinearMotion1D) -> None:
+        """Register an object moving along ``route_id`` by arc length."""
+        if oid in self._route_of:
+            raise DuplicateObjectError(f"object {oid} already indexed")
+        if route_id not in self.routes:
+            raise ObjectNotFoundError(f"unknown route {route_id}")
+        self._route_indexes[route_id].insert(MobileObject1D(oid, motion))
+        self._route_of[oid] = route_id
+
+    def delete(self, oid: int) -> None:
+        route_id = self._route_of.pop(oid, None)
+        if route_id is None:
+            raise ObjectNotFoundError(f"object {oid} is not indexed")
+        self._route_indexes[route_id].delete(oid)
+
+    def update(self, oid: int, route_id: int, motion: LinearMotion1D) -> None:
+        self.delete(oid)
+        self.insert(oid, route_id, motion)
+
+    def position_of(self, oid: int, motion: LinearMotion1D, t: float) -> Point2:
+        """Planar position of an object at time ``t`` (helper)."""
+        route = self.routes[self._route_of[oid]]
+        return route.position_at(motion.position(t))
+
+    # -- queries -------------------------------------------------------------------
+
+    def query(self, query: MORQuery2D) -> Set[int]:
+        """Two-dimensional MOR query via SAM + per-route 1-D queries."""
+        rect = Rect(query.x1, query.y1, query.x2, query.y2)
+        result: Set[int] = set()
+        hit_segments = self._sam.search_rect(rect)
+        by_route: Dict[int, List[int]] = {}
+        for route_id, seg_idx in hit_segments:
+            by_route.setdefault(route_id, []).append(seg_idx)
+        for route_id, segments in by_route.items():
+            route = self.routes[route_id]
+            intervals = []
+            for i in segments:
+                clipped = route.clip_segment_to_rect(i, rect)
+                if clipped is not None:
+                    intervals.append(clipped)
+            index = self._route_indexes[route_id]
+            for s1, s2 in _merge_intervals(intervals):
+                result.update(
+                    index.query(MORQuery1D(s1, s2, query.t1, query.t2))
+                )
+        return result
+
+    @property
+    def pages_in_use(self) -> int:
+        return self._sam_disk.pages_in_use + sum(
+            index.pages_in_use for index in self._route_indexes.values()
+        )
+
+    def clear_buffers(self) -> None:
+        self._sam_disk.clear_buffer()
+        for index in self._route_indexes.values():
+            index.clear_buffers()
+
+
+def _merge_intervals(
+    intervals: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Union of possibly overlapping arc-length intervals."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,90 @@
+"""Workload generation and the §5 scenario driver."""
+
+from repro.workloads.generator import (
+    LARGE_QUERIES,
+    SMALL_QUERIES,
+    QueryClass,
+    WorkloadConfig,
+    WorkloadGenerator,
+    paper_model,
+)
+from repro.workloads.distributions import (
+    ALL_DISTRIBUTIONS,
+    Distribution,
+    GaussianClusters,
+    Platoons,
+    RushHour,
+    SkewedSpeeds,
+    UniformDistribution,
+)
+from repro.workloads.planar import (
+    LARGE_PLANAR_QUERIES,
+    SMALL_PLANAR_QUERIES,
+    PlanarQueryClass,
+    PlanarScenario,
+    PlanarScenarioResult,
+    PlanarWorkloadGenerator,
+)
+from repro.workloads.route_workload import (
+    RouteScenario,
+    RouteScenarioResult,
+    grid_network,
+    star_network,
+)
+from repro.workloads.routing_choices import (
+    Junction,
+    ProbabilisticRouteScenario,
+    find_junctions,
+)
+from repro.workloads.scenario import Scenario, ScenarioResult
+from repro.workloads.serialization import (
+    load_population,
+    population_from_json,
+    population_to_json,
+    queries_from_json,
+    queries_to_json,
+    replay_trace,
+    save_population,
+    trace_from_json,
+    trace_to_json,
+)
+
+__all__ = [
+    "ALL_DISTRIBUTIONS",
+    "Distribution",
+    "GaussianClusters",
+    "LARGE_PLANAR_QUERIES",
+    "LARGE_QUERIES",
+    "PlanarQueryClass",
+    "PlanarScenario",
+    "PlanarScenarioResult",
+    "PlanarWorkloadGenerator",
+    "Platoons",
+    "RushHour",
+    "SMALL_PLANAR_QUERIES",
+    "SkewedSpeeds",
+    "UniformDistribution",
+    "Junction",
+    "ProbabilisticRouteScenario",
+    "QueryClass",
+    "RouteScenario",
+    "RouteScenarioResult",
+    "SMALL_QUERIES",
+    "Scenario",
+    "ScenarioResult",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "find_junctions",
+    "grid_network",
+    "load_population",
+    "paper_model",
+    "population_from_json",
+    "population_to_json",
+    "queries_from_json",
+    "queries_to_json",
+    "replay_trace",
+    "save_population",
+    "star_network",
+    "trace_from_json",
+    "trace_to_json",
+]

@@ -1,0 +1,152 @@
+"""Alternative data distributions (paper §7: "a more complete
+performance study (using various data distributions)").
+
+The §5 study uses uniform positions, speeds and directions.  These
+generators model the paper's motivating domains more closely:
+
+* :class:`GaussianClusters` — positions concentrated around a few hot
+  spots (cities along a highway);
+* :class:`SkewedSpeeds` — a power-law tilt towards either slow or fast
+  traffic within the legal band;
+* :class:`RushHour` — directions heavily biased one way (commute flow),
+  which stresses the per-sign dual structures asymmetrically;
+* :class:`Platoons` — tight speed clusters travelling together, the
+  regime where the §3.6 MOR1 structure shines (few crossings).
+
+All distributions produce motions inside the model's speed band, so
+every index accepts them unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.model import LinearMotion1D, MobileObject1D, MotionModel
+
+
+class Distribution(abc.ABC):
+    """A population generator plugging into the workload machinery."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def motion(
+        self, rng: random.Random, model: MotionModel, t0: float
+    ) -> LinearMotion1D:
+        """Draw one motion valid under ``model``."""
+
+    def population(
+        self,
+        rng: random.Random,
+        model: MotionModel,
+        n: int,
+        t0: float = 0.0,
+    ) -> List[MobileObject1D]:
+        return [
+            MobileObject1D(oid, self.motion(rng, model, t0))
+            for oid in range(n)
+        ]
+
+
+@dataclass
+class UniformDistribution(Distribution):
+    """The §5 baseline: everything uniform."""
+
+    name: str = "uniform"
+
+    def motion(self, rng, model, t0):
+        speed = rng.uniform(model.v_min, model.v_max)
+        direction = 1 if rng.random() < 0.5 else -1
+        return LinearMotion1D(
+            rng.uniform(0, model.terrain.y_max), direction * speed, t0
+        )
+
+
+@dataclass
+class GaussianClusters(Distribution):
+    """Positions drawn around ``centers`` with the given std deviation."""
+
+    centers: Tuple[float, ...] = (200.0, 500.0, 800.0)
+    sigma: float = 40.0
+    name: str = "gaussian-clusters"
+
+    def motion(self, rng, model, t0):
+        center = self.centers[rng.randrange(len(self.centers))]
+        y = min(max(rng.gauss(center, self.sigma), 0.0), model.terrain.y_max)
+        speed = rng.uniform(model.v_min, model.v_max)
+        direction = 1 if rng.random() < 0.5 else -1
+        return LinearMotion1D(y, direction * speed, t0)
+
+
+@dataclass
+class SkewedSpeeds(Distribution):
+    """Speeds tilted inside the band by a power law.
+
+    ``shape > 1`` concentrates near ``v_min`` (congested traffic);
+    ``shape < 1`` concentrates near ``v_max`` (open road).
+    """
+
+    shape: float = 3.0
+    name: str = "skewed-speeds"
+
+    def motion(self, rng, model, t0):
+        u = rng.random() ** self.shape
+        speed = model.v_min + u * (model.v_max - model.v_min)
+        direction = 1 if rng.random() < 0.5 else -1
+        return LinearMotion1D(
+            rng.uniform(0, model.terrain.y_max), direction * speed, t0
+        )
+
+
+@dataclass
+class RushHour(Distribution):
+    """Directions biased: ``inbound_fraction`` of objects move positive."""
+
+    inbound_fraction: float = 0.9
+    name: str = "rush-hour"
+
+    def motion(self, rng, model, t0):
+        speed = rng.uniform(model.v_min, model.v_max)
+        direction = 1 if rng.random() < self.inbound_fraction else -1
+        return LinearMotion1D(
+            rng.uniform(0, model.terrain.y_max), direction * speed, t0
+        )
+
+
+@dataclass
+class Platoons(Distribution):
+    """Convoys: tight speed clusters moving in the same direction.
+
+    Objects split into ``platoons`` groups; within a group, speeds vary
+    by at most ``jitter`` of the band width — the few-crossings regime
+    of §3.6.
+    """
+
+    platoons: int = 5
+    jitter: float = 0.02
+    name: str = "platoons"
+
+    def motion(self, rng, model, t0):
+        band = model.v_max - model.v_min
+        platoon = rng.randrange(self.platoons)
+        base = model.v_min + band * (platoon + 0.5) / self.platoons
+        speed = min(
+            max(base + rng.uniform(-1, 1) * self.jitter * band, model.v_min),
+            model.v_max,
+        )
+        return LinearMotion1D(
+            rng.uniform(0, model.terrain.y_max), speed, t0
+        )
+
+
+#: Every shipped distribution, for sweeps.
+ALL_DISTRIBUTIONS: Sequence[Distribution] = (
+    UniformDistribution(),
+    GaussianClusters(),
+    SkewedSpeeds(),
+    RushHour(),
+    Platoons(),
+)

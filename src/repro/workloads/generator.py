@@ -1,0 +1,152 @@
+"""The paper's experimental workload (section 5).
+
+The performance study generates:
+
+* ``N`` objects uniform on the terrain ``[0, 1000]`` at ``t = 0``;
+* speeds uniform in ``[0.16, 1.66]`` (10..100 mph in miles/minute),
+  direction random;
+* objects reflect at the borders (an update event);
+* at every time instant, 200 randomly chosen objects change speed
+  and/or direction (update events);
+* queries at sampled instants: uniform location ranges of length up to
+  ``YQMAX`` and future windows up to ``TW`` — two workload classes,
+  "10%" (YQMAX=150, TW=60) and "1%" (YQMAX=10, TW=20).
+
+All randomness flows through one ``random.Random`` so runs are exactly
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.model import (
+    LinearMotion1D,
+    MobileObject1D,
+    MotionModel,
+    Terrain1D,
+)
+from repro.core.queries import MORQuery1D
+
+#: The paper's model parameters.
+PAPER_TERRAIN = Terrain1D(1000.0)
+PAPER_V_MIN = 0.16
+PAPER_V_MAX = 1.66
+
+
+def paper_model() -> MotionModel:
+    """The §5 motion model: terrain [0, 1000], speeds U[0.16, 1.66]."""
+    return MotionModel(PAPER_TERRAIN, PAPER_V_MIN, PAPER_V_MAX)
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A query workload class: max range length and max time window."""
+
+    name: str
+    yq_max: float
+    tw_max: float
+
+
+#: The paper's two query classes (~10% and ~1% selectivity).
+LARGE_QUERIES = QueryClass("10%", yq_max=150.0, tw_max=60.0)
+SMALL_QUERIES = QueryClass("1%", yq_max=10.0, tw_max=20.0)
+
+
+@dataclass
+class WorkloadConfig:
+    """Scenario parameters; defaults follow the paper, scaled by ``n``.
+
+    ``arrivals_per_tick`` / ``departures_per_tick`` model the open
+    system of §2 ("we allow to insert a new object or to delete an old
+    one"): fresh objects enter and existing ones leave every tick, on
+    top of the motion updates.
+    """
+
+    n: int = 10_000
+    updates_per_tick: int = 200
+    ticks: int = 2000
+    query_instants: int = 10
+    queries_per_instant: int = 200
+    arrivals_per_tick: int = 0
+    departures_per_tick: int = 0
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "WorkloadConfig":
+        """A proportionally smaller copy (for laptop-scale benchmarks)."""
+        return WorkloadConfig(
+            n=max(1, int(self.n * factor)),
+            updates_per_tick=max(1, int(self.updates_per_tick * factor)),
+            ticks=self.ticks,
+            query_instants=self.query_instants,
+            queries_per_instant=self.queries_per_instant,
+            arrivals_per_tick=int(self.arrivals_per_tick * factor),
+            departures_per_tick=int(self.departures_per_tick * factor),
+            seed=self.seed,
+        )
+
+
+class WorkloadGenerator:
+    """Reproducible generator for populations, update streams and queries."""
+
+    def __init__(self, model: MotionModel | None = None, seed: int = 0):
+        self.model = model or paper_model()
+        self.rng = random.Random(seed)
+
+    def random_motion(self, y0: float, t0: float) -> LinearMotion1D:
+        speed = self.rng.uniform(self.model.v_min, self.model.v_max)
+        direction = 1 if self.rng.random() < 0.5 else -1
+        return LinearMotion1D(y0=y0, v=direction * speed, t0=t0)
+
+    def initial_population(
+        self, n: int, t0: float = 0.0, distribution=None
+    ) -> List[MobileObject1D]:
+        """``n`` objects on the terrain.
+
+        By default everything is uniform (the §5 generator); pass any
+        :class:`~repro.workloads.distributions.Distribution` to shape
+        positions/speeds/directions instead.
+        """
+        if distribution is not None:
+            return distribution.population(self.rng, self.model, n, t0)
+        return [
+            MobileObject1D(
+                oid,
+                self.random_motion(
+                    self.rng.uniform(0, self.model.terrain.y_max), t0
+                ),
+            )
+            for oid in range(n)
+        ]
+
+    def random_update(
+        self, obj: MobileObject1D, now: float
+    ) -> MobileObject1D:
+        """The object changes speed and/or direction at time ``now``."""
+        y_now = obj.motion.position(now)
+        y_now = min(max(y_now, 0.0), self.model.terrain.y_max)
+        return MobileObject1D(obj.oid, self.random_motion(y_now, now))
+
+    def reflect(self, obj: MobileObject1D, now: float) -> MobileObject1D:
+        """Border bounce: same speed, flipped direction (an update)."""
+        y_now = obj.motion.position(now)
+        y_now = min(max(y_now, 0.0), self.model.terrain.y_max)
+        motion = LinearMotion1D(y0=y_now, v=-obj.motion.v, t0=now)
+        return MobileObject1D(obj.oid, motion)
+
+    def query(self, qclass: QueryClass, now: float) -> MORQuery1D:
+        """One random query of the given class issued at time ``now``."""
+        y_max = self.model.terrain.y_max
+        y1 = self.rng.uniform(0, y_max)
+        y2 = min(y1 + self.rng.uniform(0, qclass.yq_max), y_max)
+        t1 = now + self.rng.uniform(0, qclass.tw_max)
+        t2 = min(t1 + self.rng.uniform(0, qclass.tw_max), now + qclass.tw_max)
+        t2 = max(t1, t2)
+        return MORQuery1D(y1, y2, t1, t2)
+
+    def queries(
+        self, qclass: QueryClass, now: float, count: int
+    ) -> List[MORQuery1D]:
+        return [self.query(qclass, now) for _ in range(count)]

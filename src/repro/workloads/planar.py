@@ -1,0 +1,225 @@
+"""Planar workload generation and scenario driving (for §4.2 methods).
+
+The 2-D analogue of the §5 machinery: objects uniform on a rectangular
+terrain with uniform velocity components, reflecting independently off
+each border pair (an update), random motion changes per tick, and
+rectangle/window queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.model import LinearMotion2D, MobileObject2D, Terrain2D
+from repro.core.predicates import brute_force_2d
+from repro.core.queries import MORQuery2D
+from repro.twod.planar import PlanarModel
+
+
+@dataclass(frozen=True)
+class PlanarQueryClass:
+    """Query workload class: max side lengths and time window."""
+
+    name: str
+    side_max: float
+    tw_max: float
+
+
+class PlanarWorkloadGenerator:
+    """Reproducible generator for planar populations and queries."""
+
+    def __init__(self, model: Optional[PlanarModel] = None, seed: int = 0):
+        self.model = model or PlanarModel(Terrain2D(1000.0, 1000.0), v_max=1.66)
+        self.rng = random.Random(seed)
+
+    def random_motion(self, x0: float, y0: float, t0: float) -> LinearMotion2D:
+        v = self.model.v_max
+        return LinearMotion2D(
+            x0, y0, self.rng.uniform(-v, v), self.rng.uniform(-v, v), t0
+        )
+
+    def initial_population(self, n: int, t0: float = 0.0) -> List[MobileObject2D]:
+        terrain = self.model.terrain
+        return [
+            MobileObject2D(
+                oid,
+                self.random_motion(
+                    self.rng.uniform(0, terrain.x_max),
+                    self.rng.uniform(0, terrain.y_max),
+                    t0,
+                ),
+            )
+            for oid in range(n)
+        ]
+
+    def clamp(self, x: float, y: float) -> tuple:
+        terrain = self.model.terrain
+        return (
+            min(max(x, 0.0), terrain.x_max),
+            min(max(y, 0.0), terrain.y_max),
+        )
+
+    def random_update(self, obj: MobileObject2D, now: float) -> MobileObject2D:
+        x, y = self.clamp(*obj.motion.position(now))
+        return MobileObject2D(obj.oid, self.random_motion(x, y, now))
+
+    def reflect(self, obj: MobileObject2D, now: float) -> MobileObject2D:
+        """Bounce off whichever border(s) the object has reached."""
+        terrain = self.model.terrain
+        x, y = self.clamp(*obj.motion.position(now))
+        vx, vy = obj.motion.vx, obj.motion.vy
+        if (x <= 0 and vx < 0) or (x >= terrain.x_max and vx > 0):
+            vx = -vx
+        if (y <= 0 and vy < 0) or (y >= terrain.y_max and vy > 0):
+            vy = -vy
+        return MobileObject2D(obj.oid, LinearMotion2D(x, y, vx, vy, now))
+
+    def query(self, qclass: PlanarQueryClass, now: float) -> MORQuery2D:
+        terrain = self.model.terrain
+        x1 = self.rng.uniform(0, terrain.x_max)
+        y1 = self.rng.uniform(0, terrain.y_max)
+        x2 = min(x1 + self.rng.uniform(0, qclass.side_max), terrain.x_max)
+        y2 = min(y1 + self.rng.uniform(0, qclass.side_max), terrain.y_max)
+        t1 = now + self.rng.uniform(0, qclass.tw_max)
+        t2 = min(t1 + self.rng.uniform(0, qclass.tw_max), now + qclass.tw_max)
+        return MORQuery2D(x1, x2, y1, y2, t1, max(t1, t2))
+
+
+#: Roughly 4% / 0.3% selectivity on the default terrain.
+LARGE_PLANAR_QUERIES = PlanarQueryClass("large", side_max=250.0, tw_max=60.0)
+SMALL_PLANAR_QUERIES = PlanarQueryClass("small", side_max=60.0, tw_max=20.0)
+
+
+@dataclass
+class PlanarScenarioResult:
+    """Aggregated measurements of one planar scenario run."""
+
+    method: str
+    n: int
+    query_ios: List[int] = field(default_factory=list)
+    update_count: int = 0
+    space_pages: int = 0
+    mismatches: int = 0
+
+    @property
+    def avg_query_io(self) -> float:
+        return (
+            sum(self.query_ios) / len(self.query_ios) if self.query_ios else 0.0
+        )
+
+
+class PlanarScenario:
+    """Tick-driven simulation against a planar index (§4.2 methods).
+
+    The index must expose ``insert/update/query/clear_buffers/disks``
+    (both :class:`~repro.twod.planar.PlanarKDTreeIndex` and
+    :class:`~repro.twod.planar.PlanarDecompositionIndex` do).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        ticks: int = 30,
+        updates_per_tick: int = 5,
+        queries_per_instant: int = 10,
+        query_instants: int = 3,
+        seed: int = 0,
+        generator: Optional[PlanarWorkloadGenerator] = None,
+    ) -> None:
+        self.n = n
+        self.ticks = ticks
+        self.updates_per_tick = updates_per_tick
+        self.queries_per_instant = queries_per_instant
+        self.query_instants = query_instants
+        self.generator = generator or PlanarWorkloadGenerator(seed=seed)
+
+    def _exit_time(self, obj: MobileObject2D) -> float:
+        """First time either coordinate reaches a border."""
+        times = []
+        terrain = self.generator.model.terrain
+        for motion, limit in (
+            (obj.motion.x_motion, terrain.x_max),
+            (obj.motion.y_motion, terrain.y_max),
+        ):
+            if motion.v > 0:
+                times.append(motion.time_at(limit))
+            elif motion.v < 0:
+                times.append(motion.time_at(0.0))
+        return min(times) if times else math.inf
+
+    def run(
+        self,
+        index,
+        qclass: PlanarQueryClass = LARGE_PLANAR_QUERIES,
+        validate: bool = False,
+    ) -> PlanarScenarioResult:
+        gen = self.generator
+        objects: Dict[int, MobileObject2D] = {
+            obj.oid: obj for obj in gen.initial_population(self.n)
+        }
+        heap: List = []
+        seq = 0
+        for obj in objects.values():
+            seq += 1
+            heapq.heappush(heap, (self._exit_time(obj), seq, obj.oid, obj.motion))
+        for obj in objects.values():
+            index.insert(obj)
+        result = PlanarScenarioResult(
+            method=getattr(index, "name", type(index).__name__), n=self.n
+        )
+        step = max(1, self.ticks // max(1, self.query_instants))
+        query_ticks: Set[int] = {
+            min(self.ticks, step * (i + 1)) for i in range(self.query_instants)
+        }
+        for tick in range(1, self.ticks + 1):
+            now = float(tick)
+            while heap and heap[0][0] <= now:
+                _, _, oid, motion = heapq.heappop(heap)
+                current = objects.get(oid)
+                if current is None or current.motion is not motion:
+                    continue
+                replacement = gen.reflect(current, now)
+                index.update(replacement)
+                objects[oid] = replacement
+                result.update_count += 1
+                seq += 1
+                heapq.heappush(
+                    heap,
+                    (self._exit_time(replacement), seq, oid, replacement.motion),
+                )
+            oids = list(objects)
+            for _ in range(min(self.updates_per_tick, len(oids))):
+                oid = oids[gen.rng.randrange(len(oids))]
+                replacement = gen.random_update(objects[oid], now)
+                index.update(replacement)
+                objects[oid] = replacement
+                result.update_count += 1
+                seq += 1
+                heapq.heappush(
+                    heap,
+                    (self._exit_time(replacement), seq, oid, replacement.motion),
+                )
+            if tick in query_ticks:
+                for _ in range(self.queries_per_instant):
+                    query = gen.query(qclass, now)
+                    index.clear_buffers()
+                    snaps = [
+                        (disk, disk.stats.snapshot()) for disk in index.disks
+                    ]
+                    answer = index.query(query)
+                    result.query_ios.append(
+                        sum(
+                            (disk.stats.snapshot() - snap).total
+                            for disk, snap in snaps
+                        )
+                    )
+                    if validate:
+                        expected = brute_force_2d(objects.values(), query)
+                        if answer != expected:
+                            result.mismatches += 1
+        result.space_pages = sum(d.pages_in_use for d in index.disks)
+        return result

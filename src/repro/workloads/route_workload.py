@@ -1,0 +1,219 @@
+"""Route-network workload generation and scenario driving (§4.1).
+
+Synthetic networks (grids and hub-and-spoke stars), vehicle populations
+over them, and a tick-driven scenario: vehicles reaching a route end
+turn around (an update), a random fraction re-routes at junctions every
+tick, and rectangle/window queries measure I/O — the 1.5-D analogue of
+the §5 study.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.model import LinearMotion1D
+from repro.core.queries import MORQuery2D
+from repro.twod.routes import Route, RouteNetworkIndex
+
+
+def grid_network(lanes: int = 4, span: float = 1000.0) -> List[Route]:
+    """``lanes`` horizontal plus ``lanes`` vertical highways."""
+    routes = []
+    rid = 0
+    for i in range(lanes):
+        offset = span * (i + 0.5) / lanes
+        routes.append(Route(rid, ((0.0, offset), (span, offset))))
+        rid += 1
+        routes.append(Route(rid, ((offset, 0.0), (offset, span))))
+        rid += 1
+    return routes
+
+
+def star_network(spokes: int = 6, span: float = 1000.0) -> List[Route]:
+    """Hub-and-spoke: radial routes from the centre to the border."""
+    import math
+
+    centre = (span / 2.0, span / 2.0)
+    routes = []
+    for rid in range(spokes):
+        angle = 2 * math.pi * rid / spokes
+        end = (
+            centre[0] + (span / 2.0) * math.cos(angle),
+            centre[1] + (span / 2.0) * math.sin(angle),
+        )
+        routes.append(Route(rid, (centre, end)))
+    return routes
+
+
+@dataclass
+class RouteScenarioResult:
+    """Aggregated measurements of one route-network scenario run."""
+
+    n: int
+    query_ios: List[int] = field(default_factory=list)
+    answer_sizes: List[int] = field(default_factory=list)
+    update_count: int = 0
+    space_pages: int = 0
+
+    @property
+    def avg_query_io(self) -> float:
+        return (
+            sum(self.query_ios) / len(self.query_ios) if self.query_ios else 0.0
+        )
+
+
+class RouteScenario:
+    """Tick-driven vehicles-on-a-network simulation."""
+
+    def __init__(
+        self,
+        routes: List[Route],
+        n: int,
+        v_min: float = 0.16,
+        v_max: float = 1.66,
+        ticks: int = 20,
+        reroutes_per_tick: int = 4,
+        queries_per_instant: int = 8,
+        query_instants: int = 2,
+        seed: int = 0,
+        index_factory=None,
+    ) -> None:
+        self.routes = routes
+        self.n = n
+        self.v_min = v_min
+        self.v_max = v_max
+        self.ticks = ticks
+        self.reroutes_per_tick = reroutes_per_tick
+        self.queries_per_instant = queries_per_instant
+        self.query_instants = query_instants
+        self.rng = random.Random(seed)
+        kwargs = {} if index_factory is None else {"index_factory": index_factory}
+        self.network = RouteNetworkIndex(routes, v_min, v_max, **kwargs)
+        #: oid -> (route, motion)
+        self.placements: Dict[int, Tuple[Route, LinearMotion1D]] = {}
+
+    def _random_motion(self, route: Route, s0: float, t0: float) -> LinearMotion1D:
+        speed = self.rng.uniform(self.v_min, self.v_max)
+        direction = 1 if self.rng.random() < 0.5 else -1
+        return LinearMotion1D(s0, direction * speed, t0)
+
+    def _place(self, oid: int, now: float, route: Optional[Route] = None) -> None:
+        route = route or self.routes[self.rng.randrange(len(self.routes))]
+        motion = self._random_motion(
+            route, self.rng.uniform(0, route.length), now
+        )
+        if oid in self.placements:
+            self.network.update(oid, route.route_id, motion)
+        else:
+            self.network.insert(oid, route.route_id, motion)
+        self.placements[oid] = (route, motion)
+
+    def _end_time(self, route: Route, motion: LinearMotion1D) -> float:
+        target = route.length if motion.v > 0 else 0.0
+        return motion.time_at(target)
+
+    def _turn_around(self, oid: int, now: float) -> None:
+        route, motion = self.placements[oid]
+        s_now = min(max(motion.position(now), 0.0), route.length)
+        bounced = LinearMotion1D(s_now, -motion.v, now)
+        self.network.update(oid, route.route_id, bounced)
+        self.placements[oid] = (route, bounced)
+
+    def random_query(self, now: float, side_max: float = 250.0) -> MORQuery2D:
+        xs = [p[0] for route in self.routes for p in route.points]
+        ys = [p[1] for route in self.routes for p in route.points]
+        x1 = self.rng.uniform(min(xs), max(xs) - 1)
+        y1 = self.rng.uniform(min(ys), max(ys) - 1)
+        t1 = now + self.rng.uniform(0, 30)
+        return MORQuery2D(
+            x1, x1 + self.rng.uniform(5, side_max),
+            y1, y1 + self.rng.uniform(5, side_max),
+            t1, t1 + self.rng.uniform(0, 30),
+        )
+
+    def exact_answer(self, query: MORQuery2D) -> Set[int]:
+        """Brute-force oracle over the placements."""
+        from repro.rtree.geometry import Rect
+
+        rect = Rect(query.x1, query.y1, query.x2, query.y2)
+        answer = set()
+        for oid, (route, motion) in self.placements.items():
+            for i in range(route.segment_count):
+                clipped = route.clip_segment_to_rect(i, rect)
+                if clipped is None:
+                    continue
+                interval = motion.time_interval_in_range(*clipped)
+                if interval is None:
+                    continue
+                if max(interval[0], query.t1) <= min(interval[1], query.t2):
+                    answer.add(oid)
+                    break
+        return answer
+
+    def _disks(self):
+        disks = [self.network._sam_disk]
+        for index in self.network._route_indexes.values():
+            disks.extend(index.disks)
+        return disks
+
+    def run(self, validate: bool = False) -> RouteScenarioResult:
+        heap: List = []
+        seq = 0
+        for oid in range(self.n):
+            self._place(oid, now=0.0)
+        for oid, (route, motion) in self.placements.items():
+            seq += 1
+            heapq.heappush(heap, (self._end_time(route, motion), seq, oid, motion))
+        result = RouteScenarioResult(n=self.n)
+        step = max(1, self.ticks // max(1, self.query_instants))
+        query_ticks = {
+            min(self.ticks, step * (i + 1)) for i in range(self.query_instants)
+        }
+        mismatches = 0
+        for tick in range(1, self.ticks + 1):
+            now = float(tick)
+            while heap and heap[0][0] <= now:
+                _, _, oid, motion = heapq.heappop(heap)
+                current = self.placements.get(oid)
+                if current is None or current[1] is not motion:
+                    continue
+                self._turn_around(oid, now)
+                result.update_count += 1
+                route, bounced = self.placements[oid]
+                seq += 1
+                heapq.heappush(
+                    heap, (self._end_time(route, bounced), seq, oid, bounced)
+                )
+            for _ in range(self.reroutes_per_tick):
+                oid = self.rng.randrange(self.n)
+                self._place(oid, now)
+                result.update_count += 1
+                route, motion = self.placements[oid]
+                seq += 1
+                heapq.heappush(
+                    heap, (self._end_time(route, motion), seq, oid, motion)
+                )
+            if tick in query_ticks:
+                for _ in range(self.queries_per_instant):
+                    query = self.random_query(now)
+                    self.network.clear_buffers()
+                    snaps = [
+                        (disk, disk.stats.snapshot())
+                        for disk in self._disks()
+                    ]
+                    answer = self.network.query(query)
+                    result.query_ios.append(
+                        sum(
+                            (disk.stats.snapshot() - snap).total
+                            for disk, snap in snaps
+                        )
+                    )
+                    result.answer_sizes.append(len(answer))
+                    if validate and answer != self.exact_answer(query):
+                        mismatches += 1
+        assert mismatches == 0, f"{mismatches} route-query mismatches"
+        result.space_pages = self.network.pages_in_use
+        return result

@@ -1,0 +1,180 @@
+"""Probabilistic route choices (paper §7: "We are currently studying
+the problem of indexing mobile objects with probabilistic route
+choices").
+
+The machinery: junctions are the points where route polylines cross;
+a vehicle arriving at a junction switches to the crossing route with a
+configurable probability (issuing the usual update), otherwise it
+continues.  The index itself is unchanged — route choice is workload
+behaviour — which is exactly the paper's observation that tentative
+future answers simply get revised by the next update.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import LinearMotion1D
+from repro.twod.routes import Route
+from repro.workloads.route_workload import RouteScenario
+
+Point2 = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A crossing point shared by two routes, with both arc positions."""
+
+    point: Point2
+    route_a: int
+    arc_a: float
+    route_b: int
+    arc_b: float
+
+    def arc_on(self, route_id: int) -> float:
+        if route_id == self.route_a:
+            return self.arc_a
+        if route_id == self.route_b:
+            return self.arc_b
+        raise KeyError(f"route {route_id} does not pass this junction")
+
+    def other_route(self, route_id: int) -> int:
+        return self.route_b if route_id == self.route_a else self.route_a
+
+
+def _segment_intersection(
+    p1: Point2, p2: Point2, q1: Point2, q2: Point2
+) -> Optional[Tuple[float, float]]:
+    """Parameters ``(s, t)`` of the proper intersection, if any."""
+    dx1, dy1 = p2[0] - p1[0], p2[1] - p1[1]
+    dx2, dy2 = q2[0] - q1[0], q2[1] - q1[1]
+    denom = dx1 * dy2 - dy1 * dx2
+    if abs(denom) < 1e-12:
+        return None  # parallel (overlap treated as no junction)
+    s = ((q1[0] - p1[0]) * dy2 - (q1[1] - p1[1]) * dx2) / denom
+    t = ((q1[0] - p1[0]) * dy1 - (q1[1] - p1[1]) * dx1) / denom
+    if -1e-9 <= s <= 1 + 1e-9 and -1e-9 <= t <= 1 + 1e-9:
+        return (min(max(s, 0.0), 1.0), min(max(t, 0.0), 1.0))
+    return None
+
+
+def find_junctions(routes: Sequence[Route]) -> List[Junction]:
+    """All pairwise crossing points between distinct routes."""
+    junctions: List[Junction] = []
+    for i, ra in enumerate(routes):
+        for rb in routes[i + 1 :]:
+            for si in range(ra.segment_count):
+                a1, a2 = ra.segment(si)
+                offs_a = ra.offsets
+                for sj in range(rb.segment_count):
+                    b1, b2 = rb.segment(sj)
+                    hit = _segment_intersection(a1, a2, b1, b2)
+                    if hit is None:
+                        continue
+                    s, t = hit
+                    arc_a = offs_a[si] + s * (offs_a[si + 1] - offs_a[si])
+                    offs_b = rb.offsets
+                    arc_b = offs_b[sj] + t * (offs_b[sj + 1] - offs_b[sj])
+                    point = (
+                        a1[0] + s * (a2[0] - a1[0]),
+                        a1[1] + s * (a2[1] - a1[1]),
+                    )
+                    junctions.append(
+                        Junction(point, ra.route_id, arc_a, rb.route_id, arc_b)
+                    )
+    return junctions
+
+
+class ProbabilisticRouteScenario(RouteScenario):
+    """Route scenario where vehicles may turn at junctions.
+
+    When a vehicle's arc position reaches a junction on its route, it
+    switches to the crossing route with probability
+    ``switch_probability`` (keeping its speed, random direction on the
+    new route) — an ordinary update as far as the index is concerned.
+    """
+
+    def __init__(
+        self,
+        routes: List[Route],
+        n: int,
+        switch_probability: float = 0.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(routes, n, **kwargs)
+        if not 0.0 <= switch_probability <= 1.0:
+            raise ValueError(
+                f"switch probability must be in [0, 1], got {switch_probability}"
+            )
+        self.switch_probability = switch_probability
+        self.junctions = find_junctions(routes)
+        self._junctions_by_route: Dict[int, List[Junction]] = {}
+        for junction in self.junctions:
+            for rid in (junction.route_a, junction.route_b):
+                self._junctions_by_route.setdefault(rid, []).append(junction)
+        self.switches_taken = 0
+        #: oid -> time of the last junction already decided (declined or
+        #: taken), so a declined turn is not re-offered every tick.
+        self._decided_until: Dict[int, float] = {}
+
+    def _next_junction(
+        self, route: Route, motion: LinearMotion1D, after: float
+    ) -> Optional[Tuple[float, Junction]]:
+        """The first junction the motion reaches strictly after ``after``."""
+        best: Optional[Tuple[float, Junction]] = None
+        for junction in self._junctions_by_route.get(route.route_id, []):
+            arc = junction.arc_on(route.route_id)
+            if motion.v == 0:
+                continue
+            t = motion.time_at(arc)
+            if t <= after + 1e-9:
+                continue
+            if best is None or t < best[0]:
+                best = (t, junction)
+        return best
+
+    def maybe_switch(self, oid: int, now: float) -> bool:
+        """Give the vehicle its junction choice if one is due; returns
+        whether a switch happened (used by ticks)."""
+        route, motion = self.placements[oid]
+        after = max(motion.t0, self._decided_until.get(oid, -math.inf))
+        pending = self._next_junction(route, motion, after=after)
+        if pending is None or pending[0] > now:
+            return False
+        t_junction, junction = pending
+        self._decided_until[oid] = t_junction
+        if self.rng.random() >= self.switch_probability:
+            return False
+        other_id = junction.other_route(route.route_id)
+        other = next(r for r in self.routes if r.route_id == other_id)
+        arc = junction.arc_on(other_id)
+        direction = 1 if self.rng.random() < 0.5 else -1
+        switched = LinearMotion1D(arc, direction * abs(motion.v), t_junction)
+        self.network.update(oid, other_id, switched)
+        self.placements[oid] = (other, switched)
+        self.switches_taken += 1
+        return True
+
+    def run_with_choices(self, validate: bool = False):
+        """Like :meth:`run` but giving every vehicle junction choices
+        each tick before the regular reroutes."""
+        heap: List = []
+        for oid in range(self.n):
+            self._place(oid, now=0.0)
+        result_ios: List[int] = []
+        for tick in range(1, self.ticks + 1):
+            now = float(tick)
+            for oid in range(self.n):
+                self.maybe_switch(oid, now)
+            if tick % max(1, self.ticks // max(1, self.query_instants)) == 0:
+                for _ in range(self.queries_per_instant):
+                    query = self.random_query(now)
+                    self.network.clear_buffers()
+                    answer = self.network.query(query)
+                    if validate:
+                        assert answer == self.exact_answer(query)
+                    result_ios.append(len(answer))
+        return result_ios

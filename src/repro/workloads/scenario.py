@@ -1,0 +1,185 @@
+"""Scenario driver: runs the paper's §5 simulation against an index.
+
+The loop advances time in unit ticks.  Each tick:
+
+1. objects that reached a terrain border since the previous tick are
+   reflected (an update: delete + insert, as the paper prescribes);
+2. ``updates_per_tick`` randomly chosen objects change speed and/or
+   direction (updates);
+3. at designated query instants, a batch of random queries runs with
+   the buffer pools cleared before each query (the paper's protocol),
+   recording per-query I/O.
+
+Border crossings are tracked with a priority queue of exit times, so a
+tick costs ``O(updates + crossings)`` rather than ``O(N)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.model import MobileObject1D
+from repro.core.predicates import brute_force_1d
+from repro.indexes.base import MobileIndex1D
+from repro.workloads.generator import QueryClass, WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated measurements of one scenario run."""
+
+    method: str
+    n: int
+    query_class: str
+    query_ios: List[int] = field(default_factory=list)
+    query_answer_sizes: List[int] = field(default_factory=list)
+    update_ios: List[int] = field(default_factory=list)
+    space_pages: int = 0
+    mismatches: int = 0
+
+    @property
+    def avg_query_io(self) -> float:
+        return sum(self.query_ios) / len(self.query_ios) if self.query_ios else 0.0
+
+    @property
+    def avg_update_io(self) -> float:
+        return (
+            sum(self.update_ios) / len(self.update_ios)
+            if self.update_ios
+            else 0.0
+        )
+
+    @property
+    def avg_answer_size(self) -> float:
+        if not self.query_answer_sizes:
+            return 0.0
+        return sum(self.query_answer_sizes) / len(self.query_answer_sizes)
+
+
+class Scenario:
+    """One reproducible simulation run over a mobile-object index."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        generator: Optional[WorkloadGenerator] = None,
+    ) -> None:
+        self.config = config
+        self.generator = generator or WorkloadGenerator(seed=config.seed)
+        self.model = self.generator.model
+
+    def _border_time(self, obj: MobileObject1D) -> float:
+        """Absolute time the object reaches a terrain border."""
+        target = self.model.terrain.y_max if obj.motion.v > 0 else 0.0
+        return obj.motion.time_at(target)
+
+    def run(
+        self,
+        index: MobileIndex1D,
+        query_class: QueryClass,
+        validate: bool = False,
+    ) -> ScenarioResult:
+        """Drive the index through the configured scenario."""
+        cfg = self.config
+        gen = self.generator
+        objects: Dict[int, MobileObject1D] = {
+            obj.oid: obj for obj in gen.initial_population(cfg.n)
+        }
+        # (exit_time, seq, oid, motion identity) — stale entries are skipped.
+        self._heap_seq = 0
+        border_heap: List = []
+        for obj in objects.values():
+            self._push_border(border_heap, obj)
+        for obj in objects.values():
+            index.insert(obj)
+        result = ScenarioResult(
+            method=index.name, n=cfg.n, query_class=query_class.name
+        )
+        query_ticks = self._query_ticks()
+        self._next_oid = cfg.n
+        for tick in range(1, cfg.ticks + 1):
+            now = float(tick)
+            self._reflect_due(index, objects, border_heap, now, result)
+            self._random_updates(index, objects, border_heap, now, result)
+            self._churn_population(index, objects, border_heap, now, result)
+            if tick in query_ticks:
+                self._run_queries(index, objects, query_class, now, result, validate)
+        result.space_pages = index.pages_in_use
+        return result
+
+    def _query_ticks(self) -> Set[int]:
+        cfg = self.config
+        if cfg.query_instants <= 0:
+            return set()
+        step = max(1, cfg.ticks // cfg.query_instants)
+        return {min(cfg.ticks, step * (i + 1)) for i in range(cfg.query_instants)}
+
+    def _push_border(self, border_heap, obj: MobileObject1D) -> None:
+        self._heap_seq += 1
+        heapq.heappush(
+            border_heap,
+            (self._border_time(obj), self._heap_seq, obj.oid, obj.motion),
+        )
+
+    def _reflect_due(self, index, objects, border_heap, now, result) -> None:
+        while border_heap and border_heap[0][0] <= now:
+            _, _, oid, motion = heapq.heappop(border_heap)
+            current = objects.get(oid)
+            if current is None or current.motion is not motion:
+                continue  # stale: the object updated since this was queued
+            replacement = self.generator.reflect(current, now)
+            snap = index.snapshot()
+            index.update(replacement)
+            result.update_ios.append(index.io_cost_since(snap))
+            objects[oid] = replacement
+            self._push_border(border_heap, replacement)
+
+    def _random_updates(self, index, objects, border_heap, now, result) -> None:
+        oids = list(objects)
+        for _ in range(min(self.config.updates_per_tick, len(oids))):
+            oid = oids[self.generator.rng.randrange(len(oids))]
+            replacement = self.generator.random_update(objects[oid], now)
+            snap = index.snapshot()
+            index.update(replacement)
+            result.update_ios.append(index.io_cost_since(snap))
+            objects[oid] = replacement
+            self._push_border(border_heap, replacement)
+
+    def _churn_population(self, index, objects, border_heap, now, result) -> None:
+        """Open-system churn: arrivals and departures (§2 dynamism)."""
+        cfg = self.config
+        gen = self.generator
+        for _ in range(cfg.arrivals_per_tick):
+            motion = gen.random_motion(
+                gen.rng.uniform(0, self.model.terrain.y_max), now
+            )
+            newcomer = MobileObject1D(self._next_oid, motion)
+            self._next_oid += 1
+            snap = index.snapshot()
+            index.insert(newcomer)
+            result.update_ios.append(index.io_cost_since(snap))
+            objects[newcomer.oid] = newcomer
+            self._push_border(border_heap, newcomer)
+        for _ in range(min(cfg.departures_per_tick, max(0, len(objects) - 1))):
+            oid = gen.rng.choice(list(objects))
+            snap = index.snapshot()
+            index.delete(oid)
+            result.update_ios.append(index.io_cost_since(snap))
+            del objects[oid]
+
+    def _run_queries(
+        self, index, objects, query_class, now, result, validate
+    ) -> None:
+        for _ in range(self.config.queries_per_instant):
+            query = self.generator.query(query_class, now)
+            index.clear_buffers()
+            snap = index.snapshot()
+            answer = index.query(query)
+            result.query_ios.append(index.io_cost_since(snap))
+            result.query_answer_sizes.append(len(answer))
+            if validate:
+                expected = brute_force_1d(objects.values(), query)
+                if answer != expected:
+                    result.mismatches += 1

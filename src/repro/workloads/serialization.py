@@ -1,0 +1,149 @@
+"""Saving and loading workloads (populations, traces, queries).
+
+Experiments should be portable: a population generated here can be
+written to a plain JSON file, shipped alongside results, and reloaded
+bit-exactly.  Formats:
+
+* **population**: ``{"objects": [{"oid", "y0", "v", "t0"}, ...]}``;
+* **queries**: ``{"queries": [{"y1", "y2", "t1", "t2"}, ...]}``;
+* **trace**: an ordered event list (``insert`` / ``update`` /
+  ``delete`` / ``query``) replayable against any index via
+  :func:`replay_trace` — the portable form of the differential tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Set
+
+from repro.core.model import LinearMotion1D, MobileObject1D
+from repro.core.queries import MORQuery1D
+from repro.errors import InvalidQueryError
+from repro.indexes.base import MobileIndex1D
+
+
+# -- populations --------------------------------------------------------------
+
+
+def population_to_json(objects: Iterable[MobileObject1D]) -> str:
+    return json.dumps(
+        {
+            "objects": [
+                {
+                    "oid": obj.oid,
+                    "y0": obj.motion.y0,
+                    "v": obj.motion.v,
+                    "t0": obj.motion.t0,
+                }
+                for obj in objects
+            ]
+        }
+    )
+
+
+def population_from_json(payload: str) -> List[MobileObject1D]:
+    data = json.loads(payload)
+    try:
+        return [
+            MobileObject1D(
+                int(entry["oid"]),
+                LinearMotion1D(
+                    float(entry["y0"]), float(entry["v"]), float(entry["t0"])
+                ),
+            )
+            for entry in data["objects"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise InvalidQueryError(f"malformed population payload: {exc}") from exc
+
+
+def save_population(path: str, objects: Iterable[MobileObject1D]) -> None:
+    with open(path, "w") as handle:
+        handle.write(population_to_json(objects))
+
+
+def load_population(path: str) -> List[MobileObject1D]:
+    with open(path) as handle:
+        return population_from_json(handle.read())
+
+
+# -- queries --------------------------------------------------------------------
+
+
+def queries_to_json(queries: Iterable[MORQuery1D]) -> str:
+    return json.dumps(
+        {
+            "queries": [
+                {"y1": q.y1, "y2": q.y2, "t1": q.t1, "t2": q.t2}
+                for q in queries
+            ]
+        }
+    )
+
+
+def queries_from_json(payload: str) -> List[MORQuery1D]:
+    data = json.loads(payload)
+    try:
+        return [
+            MORQuery1D(
+                float(entry["y1"]), float(entry["y2"]),
+                float(entry["t1"]), float(entry["t2"]),
+            )
+            for entry in data["queries"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise InvalidQueryError(f"malformed query payload: {exc}") from exc
+
+
+# -- traces ------------------------------------------------------------------------
+
+#: One trace event as a plain dict; "kind" selects the fields.
+TraceEvent = Dict
+
+
+def trace_to_json(events: Iterable[TraceEvent]) -> str:
+    return json.dumps({"events": list(events)})
+
+
+def trace_from_json(payload: str) -> List[TraceEvent]:
+    return json.loads(payload)["events"]
+
+
+def replay_trace(
+    index: MobileIndex1D,
+    events: Iterable[TraceEvent],
+    collect_answers: bool = True,
+) -> List[Set[int]]:
+    """Apply a trace to an index; returns the query answers in order.
+
+    Event kinds: ``insert``/``update`` carry ``oid, y0, v, t0``;
+    ``delete`` carries ``oid``; ``query`` carries ``y1, y2, t1, t2``.
+    """
+    answers: List[Set[int]] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind in ("insert", "update"):
+            obj = MobileObject1D(
+                int(event["oid"]),
+                LinearMotion1D(
+                    float(event["y0"]), float(event["v"]), float(event["t0"])
+                ),
+            )
+            if kind == "insert":
+                index.insert(obj)
+            else:
+                index.update(obj)
+        elif kind == "delete":
+            index.delete(int(event["oid"]))
+        elif kind == "query":
+            answer = index.query(
+                MORQuery1D(
+                    float(event["y1"]), float(event["y2"]),
+                    float(event["t1"]), float(event["t2"]),
+                )
+            )
+            if collect_answers:
+                answers.append(answer)
+        else:
+            raise InvalidQueryError(f"unknown trace event kind {kind!r}")
+    return answers

@@ -1,0 +1,231 @@
+"""Unit and property tests for the disk-based B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bptree import BPlusTree
+from repro.errors import ObjectNotFoundError
+from repro.io_sim import DiskSimulator
+
+
+def make_tree(leaf_capacity=4, internal_capacity=None, buffer_pages=4):
+    disk = DiskSimulator(buffer_pages=buffer_pages)
+    return BPlusTree(disk, leaf_capacity, internal_capacity), disk
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_search(-1e9, 1e9) == []
+        tree.check_invariants()
+
+    def test_insert_and_get(self):
+        tree, _ = make_tree()
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        tree.insert(9, "nine")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert tree.contains(9)
+        assert not tree.contains(2)
+        tree.check_invariants()
+
+    def test_duplicate_key_rejected(self):
+        tree, _ = make_tree()
+        tree.insert(1, "a")
+        with pytest.raises(ValueError):
+            tree.insert(1, "b")
+
+    def test_get_missing_key(self):
+        tree, _ = make_tree()
+        tree.insert(1, "a")
+        with pytest.raises(ObjectNotFoundError):
+            tree.get(2)
+
+    def test_delete_returns_value(self):
+        tree, _ = make_tree()
+        tree.insert(1, "a")
+        assert tree.delete(1) == "a"
+        assert len(tree) == 0
+        with pytest.raises(ObjectNotFoundError):
+            tree.delete(1)
+
+    def test_capacity_validation(self):
+        disk = DiskSimulator()
+        with pytest.raises(ValueError):
+            BPlusTree(disk, leaf_capacity=1)
+        with pytest.raises(ValueError):
+            BPlusTree(disk, leaf_capacity=4, internal_capacity=1)
+
+    def test_tuple_keys(self):
+        tree, _ = make_tree()
+        tree.insert((1.5, 3), "a")
+        tree.insert((1.5, 1), "b")
+        tree.insert((0.5, 9), "c")
+        assert tree.range_search((1.0, -1), (2.0, 10**9)) == ["b", "a"]
+
+
+class TestGrowth:
+    def test_splits_increase_height(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        for i in range(100):
+            tree.insert(i, i * 10)
+        assert tree.height >= 3
+        tree.check_invariants()
+        for i in range(100):
+            assert tree.get(i) == i * 10
+
+    def test_reverse_and_shuffled_insertion_orders(self):
+        for order in ("asc", "desc", "shuffled"):
+            keys = list(range(200))
+            if order == "desc":
+                keys.reverse()
+            elif order == "shuffled":
+                random.Random(7).shuffle(keys)
+            tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+            for k in keys:
+                tree.insert(k, -k)
+            tree.check_invariants()
+            assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_range_search_matches_sorted_scan(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        rng = random.Random(42)
+        keys = rng.sample(range(10000), 300)
+        for k in keys:
+            tree.insert(k, k)
+        keys.sort()
+        for _ in range(50):
+            lo = rng.randint(-100, 10100)
+            hi = lo + rng.randint(0, 4000)
+            expected = [k for k in keys if lo <= k <= hi]
+            assert tree.range_search(lo, hi) == expected
+
+
+class TestShrinkage:
+    def test_delete_everything(self):
+        tree, disk = make_tree(leaf_capacity=4, internal_capacity=4)
+        keys = list(range(150))
+        for k in keys:
+            tree.insert(k, k)
+        random.Random(3).shuffle(keys)
+        for i, k in enumerate(keys):
+            assert tree.delete(k) == k
+            if i % 10 == 0:
+                tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.check_invariants()
+        # All pages but the root leaf should have been freed.
+        assert disk.pages_in_use == 1
+
+    def test_interleaved_inserts_and_deletes(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        shadow = {}
+        rng = random.Random(11)
+        for step in range(1500):
+            if shadow and rng.random() < 0.45:
+                key = rng.choice(list(shadow))
+                assert tree.delete(key) == shadow.pop(key)
+            else:
+                key = rng.randint(0, 500)
+                if key in shadow:
+                    continue
+                shadow[key] = rng.random()
+                tree.insert(key, shadow[key])
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(shadow)
+        assert dict(tree.items()) == shadow
+
+
+class TestIOAccounting:
+    def test_search_io_is_logarithmic(self):
+        tree, disk = make_tree(leaf_capacity=16, internal_capacity=16)
+        for i in range(5000):
+            tree.insert(i, i)
+        disk.clear_buffer()
+        before = disk.stats.snapshot()
+        tree.get(3456)
+        delta = disk.stats.snapshot() - before
+        # Height is ~log_16(5000/16)+1; a point lookup reads one path.
+        assert delta.reads <= tree.height
+        assert delta.writes == 0
+
+    def test_range_search_io_scales_with_answer(self):
+        tree, disk = make_tree(leaf_capacity=16, internal_capacity=16)
+        for i in range(2000):
+            tree.insert(i, i)
+        disk.clear_buffer()
+        before = disk.stats.snapshot()
+        result = tree.range_search(500, 900)
+        delta = disk.stats.snapshot() - before
+        assert len(result) == 401
+        # path + ceil(K/B) leaves, with slack for partial leaves
+        assert delta.reads <= tree.height + 401 // 8 + 2
+
+    def test_buffered_repeat_search_cheaper(self):
+        tree, disk = make_tree(leaf_capacity=16, internal_capacity=16)
+        for i in range(2000):
+            tree.insert(i, i)
+        disk.clear_buffer()
+        tree.get(100)
+        before = disk.stats.snapshot()
+        tree.get(100)  # same path should now be buffered
+        delta = disk.stats.snapshot() - before
+        assert delta.reads == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=220,
+    )
+)
+def test_property_matches_dict_model(ops):
+    """The tree behaves exactly like a sorted dict under random workloads."""
+    tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+    shadow = {}
+    for op, key in ops:
+        if op == "insert":
+            if key in shadow:
+                with pytest.raises(ValueError):
+                    tree.insert(key, key)
+            else:
+                shadow[key] = key
+                tree.insert(key, key)
+        else:
+            if key in shadow:
+                assert tree.delete(key) == shadow.pop(key)
+            else:
+                with pytest.raises(ObjectNotFoundError):
+                    tree.delete(key)
+    tree.check_invariants()
+    assert dict(tree.items()) == shadow
+    assert [k for k, _ in tree.items()] == sorted(shadow)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=10**6), max_size=300),
+    bounds=st.tuples(
+        st.integers(min_value=-10, max_value=10**6),
+        st.integers(min_value=-10, max_value=10**6),
+    ),
+)
+def test_property_range_search(keys, bounds):
+    tree, _ = make_tree(leaf_capacity=8, internal_capacity=8)
+    for k in keys:
+        tree.insert(k, k)
+    lo, hi = min(bounds), max(bounds)
+    assert tree.range_search(lo, hi) == sorted(k for k in keys if lo <= k <= hi)

@@ -1,0 +1,92 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.sizes == [1000, 2000, 4000]
+        assert args.ticks == 40
+        assert args.c == [4, 6, 8]
+
+    def test_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["figures", "--sizes", "100", "200", "--ticks", "5", "-c", "2"]
+        )
+        assert args.sizes == [100, 200]
+        assert args.c == [2]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dual-kdtree", "hough-y-forest", "segment-rstar",
+                     "partition-tree"):
+            assert name in out
+
+    def test_csweep_small(self, capsys):
+        assert main(["csweep", "-n", "200", "-c", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Equation (2)" in out
+        assert "waste" in out
+
+    def test_mor1_small(self, capsys):
+        assert main(["mor1", "--sizes", "100", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+
+    def test_figures_tiny(self, capsys, tmp_path):
+        csv_dir = tmp_path / "csv"
+        code = main(
+            [
+                "figures",
+                "--sizes", "120",
+                "--ticks", "6",
+                "-c", "2",
+                "--seed", "3",
+                "--csv", str(csv_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 6", "Figure 7", "Figure 8", "Figure 9"):
+            assert figure in out
+        for stem in ("fig6", "fig7", "fig8", "fig9"):
+            assert (csv_dir / f"{stem}.csv").exists()
+
+
+class TestCollectResults:
+    def test_collect_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "a.txt").write_text("table A\n1 2 3\n")
+        (results / "b.txt").write_text("table B\n4 5 6\n")
+        out = tmp_path / "report.txt"
+        code = main([
+            "collect-results", "--results", str(results), "-o", str(out),
+        ])
+        assert code == 0
+        report = out.read_text()
+        assert "table A" in report and "table B" in report
+        assert report.index("table A") < report.index("table B")
+
+    def test_collect_missing_dir(self, tmp_path, capsys):
+        code = main([
+            "collect-results", "--results", str(tmp_path / "nope"),
+        ])
+        assert code == 1
+
+    def test_collect_to_stdout(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "x.txt").write_text("only table\n")
+        assert main(["collect-results", "--results", str(results)]) == 0
+        assert "only table" in capsys.readouterr().out

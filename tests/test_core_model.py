@@ -1,0 +1,145 @@
+"""Tests for motions, terrains, queries and the motion model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    LinearMotion1D,
+    LinearMotion2D,
+    MOR1Query,
+    MORQuery1D,
+    MORQuery2D,
+    MotionModel,
+    Terrain1D,
+    Terrain2D,
+)
+from repro.errors import InvalidMotionError, InvalidQueryError
+
+
+class TestLinearMotion1D:
+    def test_position_extrapolation(self):
+        motion = LinearMotion1D(y0=10.0, v=2.0, t0=5.0)
+        assert motion.position(5.0) == 10.0
+        assert motion.position(8.0) == 16.0
+        assert motion.position(0.0) == 0.0  # extrapolating backwards
+
+    def test_time_at(self):
+        motion = LinearMotion1D(y0=10.0, v=2.0, t0=5.0)
+        assert motion.time_at(20.0) == 10.0
+        assert motion.time_at(10.0) == 5.0
+
+    def test_time_at_stationary_raises(self):
+        with pytest.raises(InvalidMotionError):
+            LinearMotion1D(1.0, 0.0).time_at(2.0)
+
+    def test_time_interval_in_range(self):
+        motion = LinearMotion1D(y0=0.0, v=1.0, t0=0.0)
+        assert motion.time_interval_in_range(5.0, 10.0) == (5.0, 10.0)
+        # Negative velocity swaps crossing order.
+        down = LinearMotion1D(y0=10.0, v=-1.0, t0=0.0)
+        assert down.time_interval_in_range(5.0, 8.0) == (2.0, 5.0)
+
+    def test_time_interval_stationary(self):
+        inside = LinearMotion1D(y0=7.0, v=0.0)
+        assert inside.time_interval_in_range(5.0, 10.0) == (-math.inf, math.inf)
+        outside = LinearMotion1D(y0=1.0, v=0.0)
+        assert outside.time_interval_in_range(5.0, 10.0) is None
+
+    def test_time_interval_empty_range_rejected(self):
+        with pytest.raises(InvalidMotionError):
+            LinearMotion1D(0.0, 1.0).time_interval_in_range(3.0, 2.0)
+
+
+class TestLinearMotion2D:
+    def test_position(self):
+        motion = LinearMotion2D(x0=0, y0=10, vx=1.0, vy=-2.0, t0=0.0)
+        assert motion.position(3.0) == (3.0, 4.0)
+
+    def test_axis_projections(self):
+        motion = LinearMotion2D(x0=1, y0=2, vx=3, vy=4, t0=5)
+        assert motion.x_motion == LinearMotion1D(1, 3, 5)
+        assert motion.y_motion == LinearMotion1D(2, 4, 5)
+
+    def test_speed(self):
+        motion = LinearMotion2D(0, 0, 3.0, 4.0)
+        assert motion.speed == 5.0
+
+
+class TestTerrains:
+    def test_terrain_1d(self):
+        terrain = Terrain1D(100.0)
+        assert terrain.contains(0.0)
+        assert terrain.contains(100.0)
+        assert not terrain.contains(-0.1)
+        with pytest.raises(InvalidMotionError):
+            Terrain1D(0.0)
+
+    def test_terrain_2d(self):
+        terrain = Terrain2D(10.0, 20.0)
+        assert terrain.contains(5, 15)
+        assert not terrain.contains(11, 5)
+        with pytest.raises(InvalidMotionError):
+            Terrain2D(10.0, -1.0)
+
+
+class TestMotionModel:
+    def make(self):
+        return MotionModel(Terrain1D(1000.0), v_min=0.16, v_max=1.66)
+
+    def test_t_period(self):
+        model = self.make()
+        assert model.t_period == pytest.approx(1000.0 / 0.16)
+
+    def test_is_moving_band(self):
+        model = self.make()
+        assert model.is_moving(LinearMotion1D(0, 0.5))
+        assert model.is_moving(LinearMotion1D(0, -1.66))
+        assert not model.is_moving(LinearMotion1D(0, 0.01))
+        assert not model.is_moving(LinearMotion1D(0, 2.0))
+
+    def test_validate(self):
+        model = self.make()
+        model.validate(LinearMotion1D(500.0, 1.0))
+        with pytest.raises(InvalidMotionError):
+            model.validate(LinearMotion1D(500.0, 5.0))
+        with pytest.raises(InvalidMotionError):
+            model.validate(LinearMotion1D(-5.0, 1.0))
+
+    def test_bad_speed_band(self):
+        with pytest.raises(InvalidMotionError):
+            MotionModel(Terrain1D(100.0), v_min=2.0, v_max=1.0)
+        with pytest.raises(InvalidMotionError):
+            MotionModel(Terrain1D(100.0), v_min=0.0, v_max=1.0)
+
+
+class TestQueries:
+    def test_mor_query_validation(self):
+        MORQuery1D(0, 10, 5, 8)
+        with pytest.raises(InvalidQueryError):
+            MORQuery1D(10, 0, 5, 8)
+        with pytest.raises(InvalidQueryError):
+            MORQuery1D(0, 10, 8, 5)
+
+    def test_extents(self):
+        q = MORQuery1D(0, 10, 5, 8)
+        assert q.y_extent == 10
+        assert q.time_extent == 3
+
+    def test_mor1_as_mor(self):
+        q = MOR1Query(0, 10, 7.0)
+        mor = q.as_mor()
+        assert (mor.t1, mor.t2) == (7.0, 7.0)
+        with pytest.raises(InvalidQueryError):
+            MOR1Query(10, 0, 7.0)
+
+    def test_2d_projections(self):
+        q = MORQuery2D(0, 10, 20, 30, 1, 2)
+        assert q.x_query == MORQuery1D(0, 10, 1, 2)
+        assert q.y_query == MORQuery1D(20, 30, 1, 2)
+        with pytest.raises(InvalidQueryError):
+            MORQuery2D(10, 0, 20, 30, 1, 2)
+        with pytest.raises(InvalidQueryError):
+            MORQuery2D(0, 10, 30, 20, 1, 2)
+        with pytest.raises(InvalidQueryError):
+            MORQuery2D(0, 10, 20, 30, 2, 1)

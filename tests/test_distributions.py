@@ -1,0 +1,80 @@
+"""Tests for the alternative workload distributions (§7 future work)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.kinetic import count_crossings
+from repro.workloads import paper_model
+from repro.workloads.distributions import (
+    ALL_DISTRIBUTIONS,
+    GaussianClusters,
+    Platoons,
+    RushHour,
+    SkewedSpeeds,
+    UniformDistribution,
+)
+
+MODEL = paper_model()
+
+
+@pytest.mark.parametrize(
+    "distribution", ALL_DISTRIBUTIONS, ids=[d.name for d in ALL_DISTRIBUTIONS]
+)
+class TestAllDistributionsValid:
+    def test_motions_respect_the_model(self, distribution):
+        rng = random.Random(1)
+        for obj in distribution.population(rng, MODEL, 300):
+            MODEL.validate(obj.motion)
+
+    def test_population_ids_unique(self, distribution):
+        rng = random.Random(2)
+        objects = distribution.population(rng, MODEL, 100)
+        assert len({o.oid for o in objects}) == 100
+
+    def test_reproducible(self, distribution):
+        a = distribution.population(random.Random(3), MODEL, 50)
+        b = distribution.population(random.Random(3), MODEL, 50)
+        assert a == b
+
+
+class TestDistributionShapes:
+    def test_gaussian_clusters_concentrate(self):
+        rng = random.Random(5)
+        dist = GaussianClusters(centers=(500.0,), sigma=30.0)
+        objects = dist.population(rng, MODEL, 500)
+        near = sum(1 for o in objects if 400 <= o.motion.y0 <= 600)
+        assert near > 450  # ~3 sigma captures nearly everything
+
+    def test_skewed_speeds_slow_heavy(self):
+        rng = random.Random(6)
+        slow = SkewedSpeeds(shape=4.0).population(rng, MODEL, 500)
+        fast = SkewedSpeeds(shape=0.25).population(rng, MODEL, 500)
+        slow_mean = statistics.mean(abs(o.motion.v) for o in slow)
+        fast_mean = statistics.mean(abs(o.motion.v) for o in fast)
+        assert slow_mean < fast_mean
+        assert slow_mean < (MODEL.v_min + MODEL.v_max) / 2
+
+    def test_rush_hour_biases_direction(self):
+        rng = random.Random(7)
+        objects = RushHour(inbound_fraction=0.9).population(rng, MODEL, 500)
+        inbound = sum(1 for o in objects if o.motion.v > 0)
+        assert inbound > 400
+
+    def test_platoons_have_few_crossings(self):
+        """The §3.6 sweet spot: convoys barely overtake each other."""
+        rng = random.Random(8)
+        convoy = Platoons(platoons=1, jitter=0.02).population(rng, MODEL, 150)
+        grouped = Platoons(platoons=4, jitter=0.01).population(
+            rng, MODEL, 150
+        )
+        uniform = UniformDistribution().population(rng, MODEL, 150)
+        window = 100.0
+        m_convoy = count_crossings(convoy, 0.0, window)
+        m_grouped = count_crossings(grouped, 0.0, window)
+        m_uniform = count_crossings(uniform, 0.0, window)
+        # One convoy barely overtakes; groups cross each other but far
+        # less than bidirectional uniform traffic.
+        assert m_convoy < m_uniform / 10
+        assert m_grouped < m_uniform

@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "indexed 5 vehicles" in out
+    assert "-> vehicles" in out
+
+
+def test_route_network_runs(capsys):
+    run_example("route_network.py")
+    out = capsys.readouterr().out
+    assert "indexed 600 vehicles" in out
+    assert "vehicle 0 shows up on the connector" in out
+
+
+@pytest.mark.slow
+def test_traffic_monitoring_runs(capsys):
+    run_example("traffic_monitoring.py")
+    out = capsys.readouterr().out
+    assert "congestion forecast" in out
+    assert "all methods agree" in out
+
+
+@pytest.mark.slow
+def test_mobile_cells_runs(capsys):
+    run_example("mobile_cells.py")
+    out = capsys.readouterr().out
+    assert "indexed 2000 phones" in out
+    assert "MOR1 window" in out
+
+
+def test_fleet_dispatch_runs(capsys):
+    run_example("fleet_dispatch.py")
+    out = capsys.readouterr().out
+    assert "registered 400 vehicles" in out
+    assert "closest couriers" in out
+    assert "archived" in out
+
+
+def test_benchmark_walkthrough_runs(capsys):
+    run_example("benchmark_walkthrough.py")
+    out = capsys.readouterr().out
+    assert "Figure 6 (miniature)" in out
+    assert "sanity: the segment baseline loses" in out

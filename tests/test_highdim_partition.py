@@ -1,0 +1,143 @@
+"""Tests for the d-dimensional partition tree (§4.2's 4-D structure)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    LinearMotion2D,
+    MORQuery2D,
+    MobileObject2D,
+    brute_force_2d,
+    hough_x_2d,
+    matches_2d,
+)
+from repro.io_sim import DiskSimulator
+from repro.kdtree import Orthotope, ProductRegion, UnionRegion, WedgeRegion
+from repro.partition.highdim import HDPartitionTree, partition_nd
+from repro.twod.planar import axis_wedge
+
+V_CAP = 2.0
+
+
+def planar_duals(rng, n):
+    objects = []
+    for oid in range(n):
+        motion = LinearMotion2D(
+            rng.uniform(0, 1000), rng.uniform(0, 1000),
+            rng.uniform(-V_CAP, V_CAP), rng.uniform(-V_CAP, V_CAP),
+            0.0,
+        )
+        objects.append(MobileObject2D(oid, motion))
+    entries = [(hough_x_2d(o.motion), o.oid) for o in objects]
+    return objects, entries
+
+
+def planar_region(query):
+    parts = []
+    for sx in (1, -1):
+        for sy in (1, -1):
+            parts.append(
+                ProductRegion((
+                    WedgeRegion(axis_wedge(query.x_query, sx, V_CAP), 0, 1),
+                    WedgeRegion(axis_wedge(query.y_query, sy, V_CAP), 2, 3),
+                ))
+            )
+    return UnionRegion(tuple(parts))
+
+
+class TestPartitionND:
+    def test_covers_and_bounds(self):
+        rng = random.Random(3)
+        entries = [
+            (tuple(rng.uniform(0, 10) for _ in range(4)), i)
+            for i in range(300)
+        ]
+        cells = partition_nd(entries, 16)
+        covered = sorted(oid for cell, _ in cells for _, oid in cell)
+        assert covered == list(range(300))
+        assert len(cells) <= 16
+        for cell, (lo, hi) in cells:
+            for point, _ in cell:
+                assert all(l <= x <= h for l, x, h in zip(lo, point, hi))
+
+    def test_validation_and_degenerate(self):
+        with pytest.raises(ValueError):
+            partition_nd([], 0)
+        same = [((1.0, 1.0, 1.0), i) for i in range(20)]
+        cells = partition_nd(same, 8)
+        assert sum(len(c) for c, _ in cells) == 20
+
+
+class TestHDPartitionTree:
+    def test_box_queries_4d(self):
+        rng = random.Random(5)
+        entries = [
+            (tuple(rng.uniform(0, 100) for _ in range(4)), i)
+            for i in range(800)
+        ]
+        tree = HDPartitionTree(
+            DiskSimulator(), entries, dims=4, leaf_capacity=16
+        )
+        tree.check_invariants()
+        for _ in range(20):
+            lo = tuple(rng.uniform(0, 60) for _ in range(4))
+            hi = tuple(l + rng.uniform(10, 40) for l in lo)
+            box = Orthotope(lo, hi)
+            expected = sorted(
+                oid for p, oid in entries if box.contains(p)
+            )
+            assert sorted(tree.query(box)) == expected
+
+    def test_planar_wedge_union_candidates_are_exact_after_filter(self):
+        """The §4.2 pipeline: 4-D duals, wedge-product union, exact filter."""
+        rng = random.Random(7)
+        objects, entries = planar_duals(rng, 500)
+        motions = {o.oid: o.motion for o in objects}
+        tree = HDPartitionTree(
+            DiskSimulator(), entries, dims=4, leaf_capacity=16
+        )
+        for _ in range(20):
+            x1 = rng.uniform(0, 850)
+            y1 = rng.uniform(0, 850)
+            t1 = rng.uniform(5, 30)
+            query = MORQuery2D(x1, x1 + 150, y1, y1 + 150, t1, t1 + 20)
+            candidates = set(tree.query(planar_region(query)))
+            exact = brute_force_2d(objects, query)
+            assert exact <= candidates  # no false negatives
+            filtered = {
+                oid for oid in candidates if matches_2d(motions[oid], query)
+            }
+            assert filtered == exact
+
+    def test_query_io_sublinear(self):
+        """Thin 4-D queries must cost far below a full scan (the
+        O(n^{3/4}) regime §4.2 cites)."""
+        rng = random.Random(11)
+        entries = [
+            (tuple(rng.uniform(0, 100) for _ in range(4)), i)
+            for i in range(4000)
+        ]
+        disk = DiskSimulator(buffer_pages=0)
+        tree = HDPartitionTree(disk, entries, dims=4, leaf_capacity=16)
+        total_pages = disk.pages_in_use
+        disk.clear_buffer()
+        before = disk.stats.snapshot()
+        thin = Orthotope((40, 0, 0, 0), (45, 100, 100, 100))
+        tree.query(thin)
+        delta = disk.stats.snapshot() - before
+        assert delta.reads < 0.6 * total_pages
+
+    def test_validation(self):
+        disk = DiskSimulator()
+        with pytest.raises(ValueError):
+            HDPartitionTree(disk, [], dims=0)
+        with pytest.raises(ValueError):
+            HDPartitionTree(disk, [((1.0, 2.0), 0)], dims=3)
+        with pytest.raises(ValueError):
+            HDPartitionTree(disk, [], dims=2, leaf_capacity=1)
+
+    def test_empty(self):
+        tree = HDPartitionTree(DiskSimulator(), [], dims=4)
+        assert len(tree) == 0
+        assert tree.query(Orthotope((0,) * 4, (1,) * 4)) == []

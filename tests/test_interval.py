@@ -1,0 +1,152 @@
+"""Tests for the external interval index (overlap reporting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+)
+from repro.interval import IntervalIndex, IntervalTree
+from repro.io_sim import DiskSimulator
+
+
+def brute_overlap(intervals, ql, qh):
+    return sorted(
+        payload
+        for (left, right, payload) in intervals
+        if left <= qh and right >= ql
+    )
+
+
+class TestIntervalTree:
+    def test_empty(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        assert tree.overlapping(0, 100) == []
+        tree.check_invariants()
+
+    def test_basic_overlap_semantics(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        tree.insert(0, 10, "a")
+        tree.insert(5, 15, "b")
+        tree.insert(20, 30, "c")
+        assert sorted(tree.overlapping(8, 9)) == ["a", "b"]
+        assert sorted(tree.overlapping(10, 20)) == ["a", "b", "c"]
+        assert tree.overlapping(16, 19) == []
+        # Closed-interval boundary touches count as overlap.
+        assert tree.overlapping(30, 99) == ["c"]
+
+    def test_invalid_inputs(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        with pytest.raises(InvalidQueryError):
+            tree.insert(5, 4, "x")
+        with pytest.raises(InvalidQueryError):
+            tree.overlapping(3, 2)
+
+    def test_delete_by_handle(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        handle = tree.insert(0, 10, "a")
+        tree.insert(2, 8, "b")
+        assert tree.delete(handle) == "a"
+        assert tree.overlapping(0, 100) == ["b"]
+        tree.check_invariants()
+
+    def test_duplicate_endpoints_allowed(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        for i in range(20):
+            tree.insert(5.0, 9.0, i)
+        assert sorted(tree.overlapping(6, 7)) == list(range(20))
+        tree.check_invariants()
+
+    def test_aggregates_maintained_under_churn(self):
+        tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        rng = random.Random(5)
+        live = {}
+        for step in range(800):
+            if live and rng.random() < 0.4:
+                key = rng.choice(list(live))
+                handle, _ = live.pop(key)
+                tree.delete(handle)
+            else:
+                left = rng.uniform(0, 1000)
+                right = left + rng.uniform(0, 200)
+                handle = tree.insert(left, right, step)
+                live[step] = (handle, (left, right))
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        intervals = [
+            (lo, hi, key) for key, (_, (lo, hi)) in live.items()
+        ]
+        for _ in range(30):
+            ql = rng.uniform(-50, 1100)
+            qh = ql + rng.uniform(0, 300)
+            assert sorted(tree.overlapping(ql, qh)) == brute_overlap(
+                intervals, ql, qh
+            )
+
+    def test_query_io_beats_full_scan(self):
+        disk = DiskSimulator(buffer_pages=0)
+        tree = IntervalTree(disk, leaf_capacity=16)
+        # Many short intervals spread over a long timeline: a narrow query
+        # must not read every leaf.
+        for i in range(4000):
+            tree.insert(i * 10.0, i * 10.0 + 5.0, i)
+        before = disk.stats.snapshot()
+        result = tree.overlapping(20000.0, 20050.0)
+        delta = disk.stats.snapshot() - before
+        assert 0 < len(result) < 20
+        total_leaves = 4000 / 8  # >= n/B pages at half fill
+        assert delta.reads < total_leaves / 4
+
+
+class TestIntervalIndex:
+    def test_insert_delete_by_oid(self):
+        index = IntervalIndex(DiskSimulator(), leaf_capacity=4)
+        index.insert(7, 0.0, 5.0)
+        assert 7 in index
+        assert index.overlapping(1, 2) == [7]
+        index.delete(7)
+        assert 7 not in index
+        assert len(index) == 0
+
+    def test_duplicate_oid_rejected(self):
+        index = IntervalIndex(DiskSimulator(), leaf_capacity=4)
+        index.insert(7, 0.0, 5.0)
+        with pytest.raises(DuplicateObjectError):
+            index.insert(7, 1.0, 2.0)
+
+    def test_delete_unknown_oid(self):
+        index = IntervalIndex(DiskSimulator(), leaf_capacity=4)
+        with pytest.raises(ObjectNotFoundError):
+            index.delete(42)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    intervals=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        max_size=80,
+    ),
+    query=st.tuples(
+        st.floats(min_value=-10, max_value=110, allow_nan=False),
+        st.floats(min_value=-10, max_value=110, allow_nan=False),
+    ),
+)
+def test_property_overlap_matches_brute_force(intervals, query):
+    tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+    stored = []
+    for i, (a, b) in enumerate(intervals):
+        left, right = min(a, b), max(a, b)
+        tree.insert(left, right, i)
+        stored.append((left, right, i))
+    ql, qh = min(query), max(query)
+    assert sorted(tree.overlapping(ql, qh)) == brute_overlap(stored, ql, qh)
+    tree.check_invariants()

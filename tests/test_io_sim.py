@@ -1,0 +1,177 @@
+"""Unit tests for the paged-storage simulator and I/O accounting."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, PageOverflowError
+from repro.io_sim import (
+    BPTREE_ENTRY,
+    DiskSimulator,
+    LRUBuffer,
+    RSTAR_SEGMENT,
+    RecordLayout,
+    page_capacity,
+)
+
+
+class TestPage:
+    def test_append_until_full(self):
+        disk = DiskSimulator()
+        page = disk.allocate(capacity=3)
+        for i in range(3):
+            page.append(i)
+        assert page.is_full
+        assert page.free_slots == 0
+        with pytest.raises(PageOverflowError):
+            page.append(99)
+
+    def test_len_and_repr(self):
+        disk = DiskSimulator()
+        page = disk.allocate(capacity=5)
+        page.append("a")
+        assert len(page) == 1
+        assert "1/5" in repr(page)
+
+    def test_zero_capacity_rejected(self):
+        disk = DiskSimulator()
+        with pytest.raises(ValueError):
+            disk.allocate(capacity=0)
+
+
+class TestDiskSimulator:
+    def test_allocation_counts_one_write(self):
+        disk = DiskSimulator()
+        disk.allocate(capacity=10)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 0
+
+    def test_read_miss_counts(self):
+        disk = DiskSimulator(buffer_pages=0)
+        page = disk.allocate(capacity=10)
+        disk.read(page.pid)
+        assert disk.stats.reads == 1
+
+    def test_buffered_read_is_free(self):
+        disk = DiskSimulator(buffer_pages=4)
+        page = disk.allocate(capacity=10)  # allocation buffers the page
+        disk.read(page.pid)
+        assert disk.stats.reads == 0
+        assert disk.stats.buffer_hits == 1
+
+    def test_clear_buffer_forces_reads(self):
+        disk = DiskSimulator(buffer_pages=4)
+        page = disk.allocate(capacity=10)
+        disk.clear_buffer()
+        disk.read(page.pid)
+        assert disk.stats.reads == 1
+
+    def test_read_unknown_page(self):
+        disk = DiskSimulator()
+        with pytest.raises(PageNotFoundError):
+            disk.read(12345)
+
+    def test_free_removes_page(self):
+        disk = DiskSimulator()
+        page = disk.allocate(capacity=10)
+        disk.free(page.pid)
+        assert disk.pages_in_use == 0
+        with pytest.raises(PageNotFoundError):
+            disk.read(page.pid)
+        with pytest.raises(PageNotFoundError):
+            disk.free(page.pid)
+
+    def test_write_unknown_page(self):
+        disk = DiskSimulator()
+        page = disk.allocate(capacity=10)
+        disk.free(page.pid)
+        with pytest.raises(PageNotFoundError):
+            disk.write(page)
+
+    def test_pages_and_bytes_in_use(self):
+        disk = DiskSimulator(page_size=4096)
+        for _ in range(3):
+            disk.allocate(capacity=10)
+        assert disk.pages_in_use == 3
+        assert disk.bytes_in_use == 3 * 4096
+
+    def test_snapshot_diff(self):
+        disk = DiskSimulator(buffer_pages=0)
+        page = disk.allocate(capacity=10)
+        before = disk.stats.snapshot()
+        disk.read(page.pid)
+        disk.write(page)
+        delta = disk.stats.snapshot() - before
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.total == 2
+
+    def test_stats_reset(self):
+        disk = DiskSimulator()
+        disk.allocate(capacity=10)
+        disk.stats.reset()
+        assert disk.stats.total == 0
+
+
+class TestLRUBuffer:
+    def test_eviction_order(self):
+        disk = DiskSimulator(buffer_pages=0)
+        pages = [disk.allocate(2) for _ in range(3)]
+        buf = LRUBuffer(capacity=2)
+        buf.put(pages[0])
+        buf.put(pages[1])
+        buf.get(pages[0].pid)  # refresh page 0
+        buf.put(pages[2])  # evicts page 1
+        assert pages[0].pid in buf
+        assert pages[1].pid not in buf
+        assert pages[2].pid in buf
+
+    def test_zero_capacity_never_stores(self):
+        disk = DiskSimulator(buffer_pages=0)
+        page = disk.allocate(2)
+        buf = LRUBuffer(capacity=0)
+        buf.put(page)
+        assert len(buf) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(capacity=-1)
+
+    def test_clear(self):
+        disk = DiskSimulator(buffer_pages=0)
+        buf = LRUBuffer(capacity=4)
+        buf.put(disk.allocate(2))
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_put_same_page_twice_keeps_single_entry(self):
+        disk = DiskSimulator(buffer_pages=0)
+        page = disk.allocate(2)
+        buf = LRUBuffer(capacity=4)
+        buf.put(page)
+        buf.put(page)
+        assert len(buf) == 1
+
+
+class TestLayout:
+    def test_paper_rstar_capacity(self):
+        # Section 5: four endpoint numbers + a pointer in a 4096-byte page.
+        assert RSTAR_SEGMENT.capacity(4096) == 204
+
+    def test_paper_bptree_capacity(self):
+        # Section 5: b-coordinate + speed + pointer => B = 341.
+        assert BPTREE_ENTRY.capacity(4096) == 341
+
+    def test_record_bytes(self):
+        assert RSTAR_SEGMENT.record_bytes == 20
+        assert BPTREE_ENTRY.record_bytes == 12
+
+    def test_page_capacity_function(self):
+        assert page_capacity(12, 4096) == 341
+        with pytest.raises(ValueError):
+            page_capacity(0)
+        with pytest.raises(ValueError):
+            page_capacity(8192, 4096)
+
+    def test_tiny_page_rejected(self):
+        layout = RecordLayout("big", fields=600)
+        with pytest.raises(ValueError):
+            layout.capacity(4096)

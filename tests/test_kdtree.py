@@ -1,0 +1,253 @@
+"""Tests for the external bucket kd-tree and its search regions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConvexRegion, HalfPlane
+from repro.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.io_sim import DiskSimulator
+from repro.kdtree import KDTree, Orthotope, ProductRegion, WedgeRegion
+
+
+def make_tree(dims=2, leaf_capacity=8, dir_capacity=16, buffer_pages=4):
+    disk = DiskSimulator(buffer_pages=buffer_pages)
+    return KDTree(disk, dims, leaf_capacity, dir_capacity), disk
+
+
+class TestRegions:
+    def test_orthotope(self):
+        box = Orthotope((0, 0), (2, 2))
+        assert box.contains((1, 1))
+        assert not box.contains((3, 1))
+        assert box.may_intersect_box((1, 1), (5, 5))
+        assert not box.may_intersect_box((3, 3), (5, 5))
+        with pytest.raises(ValueError):
+            Orthotope((0, 0), (-1, 1))
+        with pytest.raises(ValueError):
+            Orthotope((0,), (1, 2))
+
+    def test_wedge_region_dims(self):
+        wedge = ConvexRegion((HalfPlane(1, 0, 1.0),))  # x <= 1
+        region = WedgeRegion(wedge, dim_a=2, dim_b=3)
+        assert region.contains((9, 9, 0.5, 0))
+        assert not region.contains((0, 0, 2.0, 0))
+        assert region.may_intersect_box((9, 9, 0, 0), (9, 9, 0.5, 0.5))
+        assert not region.may_intersect_box((9, 9, 2, 0), (9, 9, 3, 1))
+
+    def test_product_region(self):
+        a = Orthotope((0,), (1,))
+
+        class FirstDim:
+            def may_intersect_box(self, lo, hi):
+                return lo[0] <= 1 and hi[0] >= 0
+
+            def contains(self, p):
+                return 0 <= p[0] <= 1
+
+        class SecondDim:
+            def may_intersect_box(self, lo, hi):
+                return lo[1] <= 5 and hi[1] >= 4
+
+            def contains(self, p):
+                return 4 <= p[1] <= 5
+
+        region = ProductRegion((FirstDim(), SecondDim()))
+        assert region.contains((0.5, 4.5))
+        assert not region.contains((0.5, 9))
+        assert not region.may_intersect_box((2, 4), (3, 5))
+
+
+class TestKDTreeBasics:
+    def test_validation(self):
+        disk = DiskSimulator()
+        with pytest.raises(ValueError):
+            KDTree(disk, dims=0, leaf_capacity=8)
+        with pytest.raises(ValueError):
+            KDTree(disk, dims=2, leaf_capacity=1)
+
+    def test_insert_search_delete(self):
+        tree, _ = make_tree()
+        tree.insert((1.0, 2.0), "a")
+        tree.insert((5.0, 5.0), "b")
+        hits = tree.search(Orthotope((0, 0), (3, 3)))
+        assert [oid for _, oid in hits] == ["a"]
+        assert tree.point_of("b") == (5.0, 5.0)
+        assert tree.delete("a") == (1.0, 2.0)
+        assert "a" not in tree
+
+    def test_wrong_dimension_rejected(self):
+        tree, _ = make_tree(dims=2)
+        with pytest.raises(ValueError):
+            tree.insert((1.0,), "a")
+
+    def test_duplicate_oid(self):
+        tree, _ = make_tree()
+        tree.insert((1.0, 1.0), "a")
+        with pytest.raises(DuplicateObjectError):
+            tree.insert((2.0, 2.0), "a")
+
+    def test_delete_missing(self):
+        tree, _ = make_tree()
+        with pytest.raises(ObjectNotFoundError):
+            tree.delete("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            tree.point_of("ghost")
+
+
+class TestKDTreeBulk:
+    def test_bulk_and_brute_force(self):
+        tree, _ = make_tree(leaf_capacity=8)
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        tree.check_invariants()
+        for _ in range(40):
+            x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+            box = Orthotope((x, y), (x + 15, y + 15))
+            expected = {i for i, p in enumerate(points) if box.contains(p)}
+            assert {oid for _, oid in tree.search(box)} == expected
+
+    def test_duplicate_coordinates_split(self):
+        """Many identical x's must not break median splitting."""
+        tree, _ = make_tree(leaf_capacity=4)
+        for i in range(60):
+            tree.insert((1.0, float(i % 3)), i)
+        tree.check_invariants()
+        assert len(tree.items()) == 60
+
+    def test_fully_degenerate_bucket_tolerated(self):
+        tree, _ = make_tree(leaf_capacity=4)
+        for i in range(12):
+            tree.insert((1.0, 1.0), i)
+        assert len(tree.items()) == 12
+        hits = tree.search(Orthotope((0, 0), (2, 2)))
+        assert len(hits) == 12
+
+    def test_churn(self):
+        tree, _ = make_tree(leaf_capacity=8)
+        rng = random.Random(19)
+        live = {}
+        next_id = 0
+        for step in range(1500):
+            if live and rng.random() < 0.45:
+                oid = rng.choice(list(live))
+                tree.delete(oid)
+                del live[oid]
+            else:
+                p = (rng.uniform(0, 100), rng.uniform(0, 100))
+                tree.insert(p, next_id)
+                live[next_id] = p
+                next_id += 1
+            if step % 250 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        box = Orthotope((20, 20), (60, 60))
+        expected = {oid for oid, p in live.items() if box.contains(p)}
+        assert {oid for _, oid in tree.search(box)} == expected
+
+    def test_delete_everything_collapses_tree(self):
+        tree, _ = make_tree(leaf_capacity=4)
+        rng = random.Random(8)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(100)]
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        order = list(range(100))
+        rng.shuffle(order)
+        for i in order:
+            tree.delete(i)
+        assert len(tree) == 0
+        assert tree.directory_pages <= 1
+        assert tree.search(Orthotope((0, 0), (10, 10))) == []
+
+
+class TestKDTree4D:
+    def test_product_wedge_search(self):
+        """4-D dual search via the product of two 2-D wedges (paper §4.2)."""
+        tree, _ = make_tree(dims=4, leaf_capacity=8)
+        rng = random.Random(44)
+        x_wedge = ConvexRegion(
+            (HalfPlane(-1, 0, -0.2), HalfPlane(1, 0, 1.0))
+        )  # vx in [0.2, 1]
+        y_wedge = ConvexRegion(
+            (HalfPlane(0, -1, 0.0), HalfPlane(0, 1, 50.0))
+        )  # ay in [0, 50]
+        region = ProductRegion(
+            (WedgeRegion(x_wedge, 0, 1), WedgeRegion(y_wedge, 2, 3))
+        )
+        points = [
+            (
+                rng.uniform(-1, 2),
+                rng.uniform(0, 100),
+                rng.uniform(-1, 2),
+                rng.uniform(0, 100),
+            )
+            for _ in range(400)
+        ]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        expected = {i for i, p in enumerate(points) if region.contains(p)}
+        assert {oid for _, oid in tree.search(region)} == expected
+
+
+class TestKDTreeIO:
+    def test_search_io_beats_full_scan(self):
+        tree, disk = make_tree(leaf_capacity=16, dir_capacity=64, buffer_pages=0)
+        rng = random.Random(12)
+        for i in range(4000):
+            tree.insert((rng.uniform(0, 1000), rng.uniform(0, 1000)), i)
+        total_pages = disk.pages_in_use
+        disk.clear_buffer()
+        before = disk.stats.snapshot()
+        tree.search(Orthotope((100, 100), (140, 140)))
+        delta = disk.stats.snapshot() - before
+        assert delta.reads < total_pages / 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+        ),
+        max_size=150,
+    ),
+    box=st.tuples(
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        st.floats(min_value=0, max_value=25, allow_nan=False),
+        st.floats(min_value=0, max_value=25, allow_nan=False),
+    ),
+)
+def test_property_box_query_matches_brute_force(points, box):
+    tree, _ = make_tree(leaf_capacity=4, dir_capacity=8)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    x, y, w, h = box
+    query = Orthotope((x, y), (x + w, y + h))
+    expected = {i for i, p in enumerate(points) if query.contains(p)}
+    assert {oid for _, oid in tree.search(query)} == expected
+    tree.check_invariants()
+
+
+class TestDirectorySlotReuse:
+    def test_freed_slots_are_reused(self):
+        """Dissolved directory nodes leave slots that new splits reuse."""
+        tree, disk = make_tree(leaf_capacity=4, dir_capacity=8)
+        rng = random.Random(99)
+        # Build up, tear down, build up again: page count must not
+        # balloon from leaked directory slots.
+        for round_ in range(3):
+            for i in range(80):
+                tree.insert((rng.uniform(0, 100), rng.uniform(0, 100)),
+                            (round_, i))
+            pages_full = disk.pages_in_use
+            for i in range(80):
+                tree.delete((round_, i))
+            assert disk.pages_in_use <= pages_full
+        tree.check_invariants()
+        assert len(tree) == 0

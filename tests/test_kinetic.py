@@ -1,0 +1,312 @@
+"""Tests for crossing enumeration, the persistent order index and MOR1."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearMotion1D,
+    MOR1Query,
+    MobileObject1D,
+    brute_force_mor1,
+)
+from repro.errors import IndexExpiredError, InvalidQueryError
+from repro.io_sim import DiskSimulator
+from repro.kinetic import (
+    MOR1Index,
+    PersistentOrderIndex,
+    StaggeredMOR1Index,
+    count_crossings,
+    crossing_time,
+    find_crossings,
+    order_at,
+)
+
+from .helpers import random_objects
+
+
+def brute_crossings(objects, t_start, t_end):
+    """All pairs whose order differs between the window endpoints."""
+    result = set()
+    for i, a in enumerate(objects):
+        for b in objects[i + 1 :]:
+            if a.motion.v == b.motion.v:
+                continue
+            t = crossing_time(a, b)
+            if t_start < t <= t_end:
+                result.add(frozenset((a.oid, b.oid)))
+    return result
+
+
+class TestCrossings:
+    def test_crossing_time(self):
+        a = MobileObject1D(1, LinearMotion1D(0.0, 1.0, 0.0))
+        b = MobileObject1D(2, LinearMotion1D(10.0, 0.5, 0.0))
+        assert crossing_time(a, b) == 20.0
+        with pytest.raises(InvalidQueryError):
+            crossing_time(a, MobileObject1D(3, LinearMotion1D(5.0, 1.0)))
+
+    def test_order_at(self):
+        objects = [
+            MobileObject1D(1, LinearMotion1D(0.0, 2.0)),
+            MobileObject1D(2, LinearMotion1D(10.0, 0.2)),
+        ]
+        assert order_at(objects, 0.0) == [1, 2]
+        assert order_at(objects, 10.0) == [2, 1]
+
+    def test_find_crossings_simple(self):
+        objects = [
+            MobileObject1D(1, LinearMotion1D(0.0, 2.0)),
+            MobileObject1D(2, LinearMotion1D(10.0, 0.2)),
+            MobileObject1D(3, LinearMotion1D(100.0, 0.2)),
+        ]
+        crossings = find_crossings(objects, 0.0, 20.0)
+        assert len(crossings) == 1
+        event = crossings[0]
+        assert {event.a, event.b} == {1, 2}
+        assert event.time == pytest.approx(10 / 1.8)
+
+    def test_find_crossings_matches_brute_force(self):
+        rng = random.Random(61)
+        objects = random_objects(rng, 80, t0_max=0.0)
+        t_start, t_end = 0.0, 300.0
+        events = find_crossings(objects, t_start, t_end)
+        found = {frozenset((e.a, e.b)) for e in events}
+        assert found == brute_crossings(objects, t_start, t_end)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t_start < t <= t_end for t in times)
+        assert count_crossings(objects, t_start, t_end) == len(events)
+
+    def test_window_validation(self):
+        with pytest.raises(InvalidQueryError):
+            find_crossings([], 10.0, 5.0)
+
+    def test_empty_and_parallel(self):
+        assert find_crossings([], 0, 10) == []
+        objects = [
+            MobileObject1D(i, LinearMotion1D(float(i * 10), 1.0))
+            for i in range(5)
+        ]
+        assert find_crossings(objects, 0, 100) == []
+
+
+class TestPersistentOrderIndex:
+    def test_initial_order(self):
+        disk = DiskSimulator()
+        index = PersistentOrderIndex(disk, ["a", "b", "c", "d"], 0.0)
+        assert index.order_at(0.0) == ["a", "b", "c", "d"]
+
+    def test_swap_history(self):
+        index = PersistentOrderIndex(DiskSimulator(), list("abcd"), 0.0)
+        index.apply_swap(1, 5.0)  # b <-> c
+        index.apply_swap(0, 7.0)  # a <-> c
+        assert index.order_at(0.0) == list("abcd")
+        assert index.order_at(5.0) == list("acbd")
+        assert index.order_at(6.9) == list("acbd")
+        assert index.order_at(7.0) == list("cabd")
+        assert index.order_at(100.0) == list("cabd")
+
+    def test_validation(self):
+        with pytest.raises(InvalidQueryError):
+            PersistentOrderIndex(DiskSimulator(), [], 0.0)
+        with pytest.raises(ValueError):
+            PersistentOrderIndex(DiskSimulator(), ["a"], 0.0, page_capacity=2)
+        index = PersistentOrderIndex(DiskSimulator(), list("ab"), 0.0)
+        with pytest.raises(InvalidQueryError):
+            index.apply_swap(5, 1.0)
+        index.apply_swap(0, 3.0)
+        with pytest.raises(InvalidQueryError):
+            index.apply_swap(0, 1.0)  # going back in time
+        with pytest.raises(InvalidQueryError):
+            index.order_at(-1.0)  # before the window
+
+    def test_versioning_under_many_swaps(self):
+        """Small pages force version chains; history must stay intact."""
+        rng = random.Random(71)
+        n = 16
+        index = PersistentOrderIndex(
+            DiskSimulator(), list(range(n)), 0.0, page_capacity=4
+        )
+        shadow = list(range(n))
+        snapshots = [(0.0, list(shadow))]
+        t = 0.0
+        for _ in range(300):
+            t += 1.0
+            pos = rng.randrange(n - 1)
+            index.apply_swap(pos, t)
+            shadow[pos], shadow[pos + 1] = shadow[pos + 1], shadow[pos]
+            snapshots.append((t, list(shadow)))
+        # Every historical version must be reconstructible.
+        for when, expected in snapshots[:: max(1, len(snapshots) // 50)]:
+            assert index.order_at(when) == expected
+        # Times between events resolve to the preceding version.
+        assert index.order_at(0.5) == snapshots[0][1]
+        assert index.order_at(1.5) == snapshots[1][1]
+
+    def test_space_grows_linearly_with_swaps(self):
+        disk = DiskSimulator()
+        n = 32
+        index = PersistentOrderIndex(disk, list(range(n)), 0.0, page_capacity=8)
+        base = disk.pages_in_use
+        rng = random.Random(73)
+        t = 0.0
+        for _ in range(400):
+            t += 1.0
+            index.apply_swap(rng.randrange(n - 1), t)
+        growth = disk.pages_in_use - base
+        # O(m / B) new pages: each page absorbs ~B/2 log records, and each
+        # swap writes two records plus occasional cascades.
+        assert growth < 400 * 2
+
+    def test_range_query_routing(self):
+        """range_query must avoid touching every leaf."""
+        n = 256
+        disk = DiskSimulator(buffer_pages=0)
+        occupants = list(range(n))
+        index = PersistentOrderIndex(disk, occupants, 0.0, page_capacity=16)
+
+        def loc(oid, t):
+            return float(oid)
+
+        before = disk.stats.snapshot()
+        hits = index.range_query(0.0, 100.0, 110.0, loc)
+        delta = disk.stats.snapshot() - before
+        assert hits == list(range(100, 111))
+        assert delta.reads < 12  # root + boundary paths + 2-3 leaves
+
+
+class TestMOR1Index:
+    def make_population(self, seed=81, n=120):
+        rng = random.Random(seed)
+        return random_objects(rng, n, t0_max=0.0)
+
+    def test_queries_match_brute_force(self):
+        objects = self.make_population()
+        index = MOR1Index(objects, t_start=0.0, window=200.0)
+        rng = random.Random(5)
+        for _ in range(40):
+            t = rng.uniform(0, 200)
+            y1 = rng.uniform(0, 900)
+            query = MOR1Query(y1, y1 + rng.uniform(0, 200), t)
+            assert index.query(query) == brute_force_mor1(objects, query)
+
+    def test_rejects_out_of_window(self):
+        objects = self.make_population(n=10)
+        index = MOR1Index(objects, t_start=0.0, window=50.0)
+        with pytest.raises(IndexExpiredError):
+            index.query(MOR1Query(0, 10, 60.0))
+        with pytest.raises(IndexExpiredError):
+            index.query(MOR1Query(0, 10, -1.0))
+        with pytest.raises(IndexExpiredError):
+            index.order_snapshot(99.0)
+
+    def test_validation(self):
+        objects = self.make_population(n=4)
+        with pytest.raises(InvalidQueryError):
+            MOR1Index(objects, 0.0, window=-1.0)
+        with pytest.raises(InvalidQueryError):
+            MOR1Index([], 0.0, window=10.0)
+
+    def test_crossing_count_exposed(self):
+        objects = self.make_population(n=60)
+        index = MOR1Index(objects, t_start=0.0, window=100.0)
+        assert index.crossing_count == count_crossings(objects, 0.0, 100.0)
+        assert index.pages_in_use > 0
+
+    def test_order_snapshot_sorted_by_location(self):
+        objects = self.make_population(n=40)
+        index = MOR1Index(objects, t_start=0.0, window=150.0)
+        motions = {obj.oid: obj.motion for obj in objects}
+        for t in (0.0, 50.0, 149.9):
+            snapshot = index.order_snapshot(t)
+            locations = [motions[oid].position(t) for oid in snapshot]
+            assert locations == sorted(locations)
+
+
+class TestStaggeredMOR1:
+    def test_lazy_window_construction(self):
+        objects = random_objects(random.Random(91), 50, t0_max=0.0)
+        staggered = StaggeredMOR1Index(objects, t0=0.0, window=100.0)
+        assert staggered.built_windows == []
+        rng = random.Random(6)
+        for t in (10.0, 150.0, 320.0, 95.0):
+            y1 = rng.uniform(0, 800)
+            query = MOR1Query(y1, y1 + 150, t)
+            assert staggered.query(query) == brute_force_mor1(objects, query)
+        assert staggered.built_windows == [0, 1, 3]
+        assert staggered.pages_in_use > 0
+
+    def test_prebuild_next(self):
+        objects = random_objects(random.Random(93), 30, t0_max=0.0)
+        staggered = StaggeredMOR1Index(objects, t0=0.0, window=60.0)
+        staggered.prebuild_next(now=10.0)
+        assert staggered.built_windows == [1]
+
+    def test_rejects_past(self):
+        objects = random_objects(random.Random(95), 10, t0_max=0.0)
+        staggered = StaggeredMOR1Index(objects, t0=100.0, window=50.0)
+        with pytest.raises(InvalidQueryError):
+            staggered.query(MOR1Query(0, 10, 50.0))
+        with pytest.raises(InvalidQueryError):
+            StaggeredMOR1Index(objects, t0=0.0, window=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    swaps=st.integers(min_value=0, max_value=120),
+)
+def test_property_persistent_history(seed, swaps):
+    """Random swap histories reconstruct exactly at every version."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 24)
+    capacity = rng.choice([4, 6, 8, 16])
+    index = PersistentOrderIndex(
+        DiskSimulator(), list(range(n)), 0.0, page_capacity=capacity
+    )
+    shadow = list(range(n))
+    history = [(0.0, list(shadow))]
+    t = 0.0
+    for _ in range(swaps):
+        t += rng.uniform(0.0, 2.0)
+        pos = rng.randrange(n - 1)
+        index.apply_swap(pos, t)
+        shadow[pos], shadow[pos + 1] = shadow[pos + 1], shadow[pos]
+        history.append((t, list(shadow)))
+    for when, expected in history:
+        assert index.order_at(when) == expected
+
+
+class TestSimultaneousCrossings:
+    def test_three_lines_through_one_point(self):
+        """Three trajectories meeting at a single (t, y) point produce
+        three crossings at the same instant; the builder must order the
+        adjacent swaps via its retry logic."""
+        objects = [
+            MobileObject1D(1, LinearMotion1D(0.0, 1.0, 0.0)),    # y = t
+            MobileObject1D(2, LinearMotion1D(20.0, -1.0, 0.0)),  # y = 20 - t
+            MobileObject1D(3, LinearMotion1D(5.0, 0.5, 0.0)),    # y = 5 + t/2
+        ]
+        index = MOR1Index(objects, t_start=0.0, window=20.0)
+        assert index.crossing_count == 3
+        # Before the meeting point the order is 1, 3, 2; after it 2, 3, 1.
+        assert index.order_snapshot(5.0) == [1, 3, 2]
+        assert index.order_snapshot(15.0) == [2, 3, 1]
+        # Queries around the meeting point stay exact.
+        for t in (9.0, 10.0, 11.0):
+            query = MOR1Query(8.0, 12.0, t)
+            assert index.query(query) == brute_force_mor1(objects, query)
+
+    def test_four_lines_through_one_point(self):
+        objects = [
+            MobileObject1D(1, LinearMotion1D(0.0, 1.0, 0.0)),
+            MobileObject1D(2, LinearMotion1D(20.0, -1.0, 0.0)),
+            MobileObject1D(3, LinearMotion1D(5.0, 0.5, 0.0)),
+            MobileObject1D(4, LinearMotion1D(15.0, -0.5, 0.0)),
+        ]
+        index = MOR1Index(objects, t_start=0.0, window=20.0)
+        assert index.crossing_count == 6
+        assert index.order_snapshot(19.9) == [2, 4, 3, 1]

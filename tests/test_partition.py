@@ -1,0 +1,251 @@
+"""Tests for simplicial partitions and the (dynamic) partition tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import ConvexRegion, HalfPlane
+from repro.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.io_sim import DiskSimulator
+from repro.partition import (
+    DynamicPartitionTree,
+    Line,
+    PartitionTree,
+    Triangle,
+    bounding_triangle,
+    crossing_number,
+    simplicial_partition,
+)
+
+
+def random_entries(rng, n, span=100.0):
+    return [
+        ((rng.uniform(0, span), rng.uniform(0, span)), i) for i in range(n)
+    ]
+
+
+def halfplane_region(a, b, c):
+    return ConvexRegion((HalfPlane(a, b, c),))
+
+
+class TestGeometry:
+    def test_line_through(self):
+        line = Line.through((0, 0), (1, 1))
+        assert line.side((0, 1)) != line.side((1, 0))
+        assert line.side((2, 2)) == 0
+        with pytest.raises(ValueError):
+            Line.through((1, 1), (1, 1))
+
+    def test_triangle_contains(self):
+        tri = Triangle((0, 0), (4, 0), (2, 4))
+        assert tri.contains((2, 1))
+        assert tri.contains((0, 0))  # vertex
+        assert tri.contains((2, 0))  # edge
+        assert not tri.contains((4, 4))
+
+    def test_triangle_crossed_by(self):
+        tri = Triangle((0, 0), (4, 0), (2, 4))
+        assert tri.crossed_by(Line.through((0, 1), (4, 1)))
+        assert not tri.crossed_by(Line.through((0, 10), (4, 10)))
+
+    def test_triangle_region_tests(self):
+        tri = Triangle((0, 0), (2, 0), (1, 2))
+        inside = halfplane_region(0, -1, 1)  # y >= -1
+        outside = halfplane_region(0, 1, -1)  # y <= -1
+        assert tri.inside_region(inside)
+        assert tri.outside_region(outside)
+        crossing = halfplane_region(0, 1, 1)  # y <= 1
+        assert not tri.inside_region(crossing)
+        assert not tri.outside_region(crossing)
+
+    def test_bounding_triangle_covers(self):
+        rng = random.Random(2)
+        points = [(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(200)]
+        tri = bounding_triangle(points)
+        assert all(tri.contains(p) for p in points)
+        with pytest.raises(ValueError):
+            bounding_triangle([])
+
+
+class TestSimplicialPartition:
+    def test_partitions_cover_and_balance(self):
+        rng = random.Random(7)
+        entries = random_entries(rng, 400)
+        cells = simplicial_partition(entries, r=16, rng=rng)
+        covered = [e for cell, _ in cells for e in cell]
+        assert sorted(oid for _, oid in covered) == list(range(400))
+        # Triangles contain their points.
+        for cell, triangle in cells:
+            assert all(triangle.contains(p) for p, _ in cell)
+        # Cells are bounded by twice the target size.
+        target = math.ceil(400 / 16)
+        assert max(len(cell) for cell, _ in cells) <= 2 * target
+
+    def test_empirical_crossing_number_is_sublinear(self):
+        rng = random.Random(11)
+        entries = random_entries(rng, 800)
+        r = 36
+        cells = simplicial_partition(entries, r=r, rng=rng)
+        # Average crossings over random probe lines must be well below the
+        # cell count (a random partition would cross ~half the cells).
+        probes = []
+        for _ in range(60):
+            p = (rng.uniform(0, 100), rng.uniform(0, 100))
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            if p != q:
+                probes.append(Line.through(p, q))
+        avg = sum(crossing_number(cells, l) for l in probes) / len(probes)
+        assert avg <= 0.7 * len(cells)
+        assert avg <= 6.0 * math.sqrt(len(cells))
+
+    def test_degenerate_inputs(self):
+        rng = random.Random(3)
+        assert simplicial_partition([], r=4, rng=rng) == []
+        single = [((1.0, 2.0), "a")]
+        cells = simplicial_partition(single, r=4, rng=rng)
+        assert len(cells) == 1
+        with pytest.raises(ValueError):
+            simplicial_partition(single, r=0, rng=rng)
+
+    def test_duplicate_points(self):
+        rng = random.Random(5)
+        entries = [((1.0, 1.0), i) for i in range(50)]
+        cells = simplicial_partition(entries, r=8, rng=rng)
+        assert sum(len(cell) for cell, _ in cells) == 50
+
+
+class TestPartitionTree:
+    def test_build_and_query_matches_brute_force(self):
+        rng = random.Random(13)
+        entries = random_entries(rng, 600)
+        tree = PartitionTree(
+            DiskSimulator(), entries, leaf_capacity=8, internal_capacity=32
+        )
+        tree.check_invariants()
+        for _ in range(25):
+            a, b = rng.uniform(-1, 1), rng.uniform(-1, 1)
+            if a == 0 and b == 0:
+                continue
+            c = rng.uniform(-50, 150)
+            region = ConvexRegion(
+                (HalfPlane(a, b, c), HalfPlane(0, -1, 0), HalfPlane(0, 1, 100))
+            )
+            expected = {
+                oid for p, oid in entries if region.contains(p[0], p[1])
+            }
+            assert set(tree.query(region)) == expected
+
+    def test_inside_cells_are_reported_wholesale(self):
+        rng = random.Random(17)
+        entries = random_entries(rng, 300)
+        tree = PartitionTree(DiskSimulator(), entries, leaf_capacity=8)
+        everything = ConvexRegion((HalfPlane(0, 1, 1e9),))
+        assert sorted(tree.query(everything)) == list(range(300))
+
+    def test_empty_tree(self):
+        tree = PartitionTree(DiskSimulator(), [], leaf_capacity=8)
+        assert len(tree) == 0
+        assert tree.query(ConvexRegion((HalfPlane(0, 1, 1e9),))) == []
+
+    def test_duplicate_heavy_data_builds(self):
+        entries = [((5.0, 5.0), i) for i in range(100)]
+        tree = PartitionTree(DiskSimulator(), entries, leaf_capacity=8)
+        tree.check_invariants()
+        assert sorted(tree.items(), key=lambda e: e[1])[0][0] == (5.0, 5.0)
+        everything = ConvexRegion((HalfPlane(0, 1, 1e9),))
+        assert len(tree.query(everything)) == 100
+
+    def test_destroy_frees_pages(self):
+        disk = DiskSimulator()
+        rng = random.Random(19)
+        tree = PartitionTree(disk, random_entries(rng, 200), leaf_capacity=8)
+        assert disk.pages_in_use > 1
+        tree.destroy()
+        assert disk.pages_in_use == 0
+
+    def test_query_io_is_sublinear(self):
+        """Wedge query I/O must be far below a full scan (paper's point)."""
+        disk = DiskSimulator(buffer_pages=0)
+        rng = random.Random(23)
+        entries = random_entries(rng, 3000)
+        tree = PartitionTree(disk, entries, leaf_capacity=16)
+        total_pages = disk.pages_in_use
+        # A thin slab query selecting ~2% of the points.
+        region = ConvexRegion(
+            (HalfPlane(-1, 0, -49.0), HalfPlane(1, 0, 51.0))
+        )
+        before = disk.stats.snapshot()
+        result = tree.query(region)
+        delta = disk.stats.snapshot() - before
+        assert len(result) < 200
+        assert delta.reads < 0.55 * total_pages
+
+
+class TestDynamicPartitionTree:
+    def test_insert_query_delete(self):
+        disk = DiskSimulator()
+        tree = DynamicPartitionTree(disk, leaf_capacity=8)
+        rng = random.Random(29)
+        entries = random_entries(rng, 200)
+        for p, oid in entries:
+            tree.insert(p, oid)
+        tree.check_invariants()
+        region = halfplane_region(1, 0, 50.0)  # x <= 50
+        expected = {oid for p, oid in entries if p[0] <= 50.0}
+        assert tree.query(region) == expected
+        # Slots follow the binary representation of the size.
+        assert len(tree) == 200
+
+    def test_duplicate_and_missing(self):
+        tree = DynamicPartitionTree(DiskSimulator(), leaf_capacity=8)
+        tree.insert((1, 1), "a")
+        with pytest.raises(DuplicateObjectError):
+            tree.insert((2, 2), "a")
+        with pytest.raises(ObjectNotFoundError):
+            tree.delete("ghost")
+
+    def test_weak_delete_then_rebuild(self):
+        disk = DiskSimulator()
+        tree = DynamicPartitionTree(disk, leaf_capacity=8)
+        rng = random.Random(31)
+        entries = random_entries(rng, 128)
+        for p, oid in entries:
+            tree.insert(p, oid)
+        # Delete 70 objects: crosses the half-tombstone threshold.
+        for _, oid in entries[:70]:
+            tree.delete(oid)
+        tree.check_invariants()
+        region = halfplane_region(0, 1, 1e9)
+        assert tree.query(region) == {oid for _, oid in entries[70:]}
+
+    def test_churn_matches_brute_force(self):
+        tree = DynamicPartitionTree(DiskSimulator(), leaf_capacity=4)
+        rng = random.Random(37)
+        live = {}
+        next_id = 0
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                oid = rng.choice(list(live))
+                tree.delete(oid)
+                del live[oid]
+            else:
+                p = (rng.uniform(0, 100), rng.uniform(0, 100))
+                tree.insert(p, next_id)
+                live[next_id] = p
+                next_id += 1
+            if step % 100 == 0:
+                tree.check_invariants()
+        region = ConvexRegion((HalfPlane(1, 1, 100.0),))  # x + y <= 100
+        expected = {oid for oid, p in live.items() if p[0] + p[1] <= 100.0}
+        assert tree.query(region) == expected
+
+    def test_pages_freed_on_rebuild(self):
+        """Space stays linear: destroyed slots release their pages."""
+        disk = DiskSimulator()
+        tree = DynamicPartitionTree(disk, leaf_capacity=8)
+        rng = random.Random(41)
+        for p, oid in random_entries(rng, 500):
+            tree.insert(p, oid)
+        # 500 points at >= 4 records/page (half-full) is well under 300 pages.
+        assert disk.pages_in_use < 300

@@ -1,0 +1,128 @@
+"""White-box tests for the Lemma 4 persistent structure internals."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.io_sim import DiskSimulator
+from repro.kinetic.persistent import PersistentOrderIndex, _RootHistory
+
+
+class TestRootHistory:
+    def test_lookup_latest_at_or_before(self):
+        disk = DiskSimulator()
+        history = _RootHistory(disk, capacity=4)
+        for t, pid in [(0.0, 10), (5.0, 11), (9.0, 12)]:
+            history.append(t, pid)
+        assert history.root_at(0.0) == 10
+        assert history.root_at(4.9) == 10
+        assert history.root_at(5.0) == 11
+        assert history.root_at(100.0) == 12
+
+    def test_before_first_raises(self):
+        disk = DiskSimulator()
+        history = _RootHistory(disk, capacity=4)
+        history.append(10.0, 1)
+        with pytest.raises(InvalidQueryError):
+            history.root_at(9.9)
+
+    def test_time_order_enforced(self):
+        history = _RootHistory(DiskSimulator(), capacity=4)
+        history.append(5.0, 1)
+        with pytest.raises(ValueError):
+            history.append(4.0, 2)
+        history.append(5.0, 3)  # equal times are fine (same-instant events)
+        assert history.root_at(5.0) == 3
+
+    def test_spans_many_pages(self):
+        disk = DiskSimulator()
+        history = _RootHistory(disk, capacity=4)
+        for t in range(40):
+            history.append(float(t), 100 + t)
+        assert len(history._page_pids) == 10
+        for t in range(40):
+            assert history.root_at(t + 0.5) == 100 + t
+
+    def test_lookup_costs_one_page_read(self):
+        disk = DiskSimulator(buffer_pages=0)
+        history = _RootHistory(disk, capacity=4)
+        for t in range(40):
+            history.append(float(t), t)
+        before = disk.stats.snapshot()
+        history.root_at(17.3)
+        delta = disk.stats.snapshot() - before
+        assert delta.reads == 1
+
+
+class TestVersionPages:
+    def test_version_pages_never_overflow(self):
+        """Appends must version a full page rather than exceed capacity."""
+        rng = random.Random(5)
+        disk = DiskSimulator()
+        capacity = 6
+        index = PersistentOrderIndex(
+            disk, list(range(8)), 0.0, page_capacity=capacity
+        )
+        t = 0.0
+        for _ in range(200):
+            t += 1.0
+            index.apply_swap(rng.randrange(7), t)
+        for pid in range(disk.pages_in_use * 2):
+            page = disk.peek(pid)
+            if page is not None:
+                assert len(page.items) <= capacity
+
+    def test_snapshot_plus_log_layout(self):
+        index = PersistentOrderIndex(
+            DiskSimulator(), list("abcd"), 0.0, page_capacity=8
+        )
+        index.apply_swap(0, 1.0)
+        leaf = index._leaf_for(0)
+        page = index.disk.peek(leaf.current_pid)
+        kinds = [record[0] for record in page.items]
+        assert kinds[0] == "snap"
+        assert "occ" in kinds
+
+    def test_height_grows_with_n(self):
+        small = PersistentOrderIndex(
+            DiskSimulator(), list(range(8)), 0.0, page_capacity=8
+        )
+        large = PersistentOrderIndex(
+            DiskSimulator(), list(range(512)), 0.0, page_capacity=8
+        )
+        assert large.height > small.height
+
+    def test_current_occupant_reads_latest(self):
+        index = PersistentOrderIndex(
+            DiskSimulator(), list("abc"), 0.0, page_capacity=8
+        )
+        assert index.current_occupant(0) == "a"
+        index.apply_swap(0, 1.0)
+        assert index.current_occupant(0) == "b"
+        assert index.current_occupant(1) == "a"
+        with pytest.raises(InvalidQueryError):
+            index.current_occupant(99)
+
+    def test_query_io_logarithmic_after_heavy_history(self):
+        """Past-version queries stay cheap even with a long history."""
+        rng = random.Random(11)
+        disk = DiskSimulator(buffer_pages=0)
+        n = 128
+        index = PersistentOrderIndex(
+            disk, list(range(n)), 0.0, page_capacity=16
+        )
+        t = 0.0
+        for _ in range(2000):
+            t += 1.0
+            index.apply_swap(rng.randrange(n - 1), t)
+
+        def loc(oid, when):
+            return float(oid)  # location model irrelevant for I/O shape
+
+        for when in (0.5, 1000.0, 1999.0):
+            disk.clear_buffer()
+            before = disk.stats.snapshot()
+            index.range_query(when, 60.0, 70.0, loc)
+            delta = disk.stats.snapshot() - before
+            assert delta.reads <= 14, f"too many reads at t={when}"

@@ -1,0 +1,85 @@
+"""Tests for the planar workload generator and scenario driver."""
+
+import pytest
+
+from repro.core import Terrain2D
+from repro.twod import PlanarDecompositionIndex, PlanarKDTreeIndex, PlanarModel
+from repro.workloads.planar import (
+    LARGE_PLANAR_QUERIES,
+    SMALL_PLANAR_QUERIES,
+    PlanarScenario,
+    PlanarWorkloadGenerator,
+)
+
+
+class TestPlanarGenerator:
+    def test_population_valid(self):
+        gen = PlanarWorkloadGenerator(seed=1)
+        for obj in gen.initial_population(100):
+            gen.model.validate(obj.motion)
+
+    def test_reflect_flips_only_border_components(self):
+        gen = PlanarWorkloadGenerator(seed=2)
+        from repro.core import LinearMotion2D, MobileObject2D
+
+        # Heading off the right border: vx flips, vy kept.
+        obj = MobileObject2D(1, LinearMotion2D(999.0, 500.0, 1.0, 0.5, 0.0))
+        bounced = gen.reflect(obj, now=1.0)
+        assert bounced.motion.vx == -1.0
+        assert bounced.motion.vy == 0.5
+        # Corner case: both flip.
+        corner = MobileObject2D(2, LinearMotion2D(999.5, 999.5, 1.0, 1.0, 0.0))
+        bounced = gen.reflect(corner, now=1.0)
+        assert bounced.motion.vx == -1.0
+        assert bounced.motion.vy == -1.0
+
+    def test_queries_inside_terrain(self):
+        gen = PlanarWorkloadGenerator(seed=3)
+        for qclass in (LARGE_PLANAR_QUERIES, SMALL_PLANAR_QUERIES):
+            for _ in range(50):
+                q = gen.query(qclass, now=10.0)
+                assert 0 <= q.x1 <= q.x2 <= 1000
+                assert 0 <= q.y1 <= q.y2 <= 1000
+                assert 10.0 <= q.t1 <= q.t2 <= 10.0 + qclass.tw_max
+
+    def test_reproducibility(self):
+        a = PlanarWorkloadGenerator(seed=5).initial_population(30)
+        b = PlanarWorkloadGenerator(seed=5).initial_population(30)
+        assert a == b
+
+
+class TestPlanarScenario:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda m: PlanarKDTreeIndex(m, leaf_capacity=16),
+            lambda m: PlanarDecompositionIndex(m, leaf_capacity=16),
+        ],
+        ids=["kdtree-4d", "decomposition"],
+    )
+    def test_scenario_validates(self, factory):
+        scenario = PlanarScenario(
+            n=120,
+            ticks=12,
+            updates_per_tick=3,
+            queries_per_instant=4,
+            query_instants=2,
+            seed=11,
+        )
+        index = factory(scenario.generator.model)
+        result = scenario.run(index, LARGE_PLANAR_QUERIES, validate=True)
+        assert result.mismatches == 0
+        assert len(result.query_ios) == 8
+        assert result.update_count > 0
+        assert result.space_pages > 0
+        assert result.avg_query_io > 0
+
+    def test_same_seed_reproducible(self):
+        def run():
+            scenario = PlanarScenario(n=60, ticks=8, seed=21)
+            index = PlanarKDTreeIndex(
+                scenario.generator.model, leaf_capacity=16
+            )
+            return scenario.run(index, SMALL_PLANAR_QUERIES)
+
+        assert run().query_ios == run().query_ios

@@ -1,0 +1,227 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property pins an invariant the library's correctness rests on,
+over randomly generated motions, queries and workloads.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearMotion1D,
+    MORQuery1D,
+    MobileObject1D,
+    brute_force_1d,
+    hough_x,
+    hough_y,
+    matches_1d,
+)
+from repro.extensions import brute_force_knn, knn_at, min_gap
+from repro.extensions.neighbors import KNNEngine
+from repro.indexes import DualKDTreeIndex, HoughYForestIndex
+from repro.io_sim import DiskSimulator, external_sort
+from repro.kinetic import count_crossings, find_crossings
+from repro.partition import simplicial_partition
+
+from .helpers import PAPER_MODEL
+
+# -- strategies ---------------------------------------------------------------
+
+motions = st.builds(
+    LinearMotion1D,
+    y0=st.floats(min_value=0, max_value=1000),
+    v=st.one_of(
+        st.floats(min_value=0.16, max_value=1.66),
+        st.floats(min_value=-1.66, max_value=-0.16),
+    ),
+    t0=st.floats(min_value=0, max_value=100),
+)
+
+windows = st.builds(
+    lambda t1, dt: (t1, t1 + dt),
+    t1=st.floats(min_value=0, max_value=200),
+    dt=st.floats(min_value=0, max_value=100),
+)
+
+
+def population(seed, n):
+    rng = random.Random(seed)
+    objects = []
+    for oid in range(n):
+        speed = rng.uniform(0.16, 1.66)
+        direction = 1 if rng.random() < 0.5 else -1
+        objects.append(
+            MobileObject1D(
+                oid,
+                LinearMotion1D(
+                    rng.uniform(0, 1000), direction * speed,
+                    rng.uniform(0, 50),
+                ),
+            )
+        )
+    return objects
+
+
+# -- duality ---------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion=motions, t=st.floats(min_value=0, max_value=500))
+def test_property_hough_x_reconstructs_position(motion, t):
+    v, a = hough_x(motion, t_ref=0.0)
+    expected = motion.position(t)
+    assert abs(a + v * t - expected) <= 1e-9 * (1 + abs(expected) + abs(v * t))
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion=motions, y_r=st.floats(min_value=0, max_value=1000))
+def test_property_hough_y_crossing_time(motion, y_r):
+    n, b = hough_y(motion, y_r)
+    # At the crossing time the object is at the horizon (up to fp noise).
+    assert abs(motion.position(b) - y_r) < 1e-6 * (1 + abs(y_r) + abs(b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion=motions, window=windows)
+def test_property_matches_monotone_in_window(motion, window):
+    """Growing the window can only add matches, never remove them."""
+    t1, t2 = window
+    small = MORQuery1D(400.0, 600.0, t1, t2)
+    large = MORQuery1D(400.0, 600.0, max(0.0, t1 - 10), t2 + 10)
+    if matches_1d(motion, small):
+        assert matches_1d(motion, large)
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion=motions, dy=st.floats(min_value=0, max_value=100))
+def test_property_matches_monotone_in_range(motion, dy):
+    small = MORQuery1D(450.0, 550.0, 10.0, 30.0)
+    large = MORQuery1D(450.0 - dy, 550.0 + dy, 10.0, 30.0)
+    if matches_1d(motion, small):
+        assert matches_1d(motion, large)
+
+
+# -- index equivalence ------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=0, max_value=120),
+    qseed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_forest_equals_kdtree_equals_oracle(seed, n, qseed):
+    objects = population(seed, n)
+    forest = HoughYForestIndex(PAPER_MODEL, c=3, leaf_capacity=8)
+    kdtree = DualKDTreeIndex(PAPER_MODEL, leaf_capacity=8)
+    for obj in objects:
+        forest.insert(obj)
+        kdtree.insert(obj)
+    rng = random.Random(qseed)
+    for _ in range(5):
+        y1 = rng.uniform(0, 950)
+        t1 = rng.uniform(50, 150)
+        query = MORQuery1D(
+            y1, min(1000.0, y1 + rng.uniform(0, 400)),
+            t1, t1 + rng.uniform(0, 50),
+        )
+        expected = brute_force_1d(objects, query)
+        assert forest.query(query) == expected
+        assert kdtree.query(query) == expected
+
+
+# -- kinetic ------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_crossings_additive_over_subwindows(seed):
+    """Crossings in (0, T] = crossings in (0, T/2] + (T/2, T]."""
+    objects = population(seed, 40)
+    whole = count_crossings(objects, 0.0, 100.0)
+    first = count_crossings(objects, 0.0, 50.0)
+    second = count_crossings(objects, 50.0, 100.0)
+    assert whole == first + second
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_crossing_times_within_window(seed):
+    objects = population(seed, 30)
+    for event in find_crossings(objects, 10.0, 60.0):
+        assert 10.0 < event.time <= 60.0
+        assert event.a != event.b
+
+
+# -- partitioning ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=1, max_value=300),
+    r=st.integers(min_value=1, max_value=32),
+)
+def test_property_partition_covers_and_bounds(seed, n, r):
+    rng = random.Random(seed)
+    entries = [
+        ((rng.uniform(0, 100), rng.uniform(0, 100)), i) for i in range(n)
+    ]
+    cells = simplicial_partition(entries, r)
+    covered = sorted(oid for cell, _ in cells for _, oid in cell)
+    assert covered == list(range(n))
+    assert len(cells) <= max(r, 1)
+    for cell, shape in cells:
+        assert cell, "empty cell emitted"
+        for point, _ in cell:
+            assert shape.contains(point)
+
+
+# -- external sort -----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.integers(min_value=-10**6, max_value=10**6), max_size=500),
+    capacity=st.integers(min_value=2, max_value=16),
+    memory=st.integers(min_value=2, max_value=6),
+)
+def test_property_external_sort_is_a_sort(data, capacity, memory):
+    disk = DiskSimulator()
+    run = external_sort(disk, data, page_capacity=capacity, memory_pages=memory)
+    assert list(run.scan()) == sorted(data)
+
+
+# -- neighbors -------------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=1, max_value=80),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_property_knn_sorted_and_exact(seed, n, k):
+    objects = population(seed, n)
+    engine = KNNEngine(DualKDTreeIndex(PAPER_MODEL, leaf_capacity=8))
+    for obj in objects:
+        engine.insert(obj)
+    rng = random.Random(seed + 1)
+    y, t = rng.uniform(0, 1000), rng.uniform(50, 150)
+    got = engine.knn(y, t, k)
+    distances = [d for _, d in got]
+    assert distances == sorted(distances)
+    assert got == brute_force_knn(objects, y, t, min(k, n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=motions, b=motions, window=windows)
+def test_property_min_gap_symmetric_and_monotone(a, b, window):
+    t1, t2 = window
+    gap = min_gap(a, b, t1, t2)
+    assert gap >= 0
+    assert gap == min_gap(b, a, t1, t2)
+    # A wider window can only find a smaller (or equal) gap.
+    assert min_gap(a, b, max(0.0, t1 - 5), t2 + 5) <= gap + 1e-9

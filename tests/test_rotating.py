@@ -1,0 +1,128 @@
+"""Tests for the T_period two-generation index rotation (paper §3.2)."""
+
+import random
+
+import pytest
+
+from repro.core import LinearMotion1D, MobileObject1D, brute_force_1d
+from repro.errors import ObjectNotFoundError
+from repro.indexes import DualKDTreeIndex, RotatingIndex
+
+from .helpers import PAPER_MODEL, random_objects, random_queries
+
+T_PERIOD = PAPER_MODEL.t_period  # 6250 time units
+
+
+def make_rotating():
+    return RotatingIndex(
+        PAPER_MODEL,
+        factory=lambda t_ref: DualKDTreeIndex(
+            PAPER_MODEL, t_ref=t_ref, leaf_capacity=8
+        ),
+    )
+
+
+class TestRotation:
+    def test_single_generation_initially(self):
+        index = make_rotating()
+        rng = random.Random(1)
+        for obj in random_objects(rng, 50, t0_max=T_PERIOD * 0.9):
+            index.insert(obj)
+        assert index.generation_count == 1
+        assert index.generation_epochs == [0]
+
+    def test_two_generations_straddle_the_period(self):
+        index = make_rotating()
+        rng = random.Random(2)
+        early = random_objects(rng, 40, t0_max=T_PERIOD * 0.9)
+        for obj in early:
+            index.insert(obj)
+        # Objects updating after T_period land in the next generation.
+        late = [
+            MobileObject1D(
+                100 + obj.oid,
+                LinearMotion1D(obj.motion.y0, obj.motion.v, T_PERIOD * 1.2),
+            )
+            for obj in early[:20]
+        ]
+        for obj in late:
+            index.insert(obj)
+        assert index.generation_count == 2
+        assert index.generation_epochs == [0, 1]
+        assert len(index) == 60
+
+    def test_old_generation_retires_when_empty(self):
+        index = make_rotating()
+        rng = random.Random(3)
+        early = random_objects(rng, 30, t0_max=100.0)
+        for obj in early:
+            index.insert(obj)
+        # Every object issues a fresh update in the next period.
+        for obj in early:
+            replacement = MobileObject1D(
+                obj.oid,
+                LinearMotion1D(
+                    obj.motion.y0, obj.motion.v, T_PERIOD + 10.0
+                ),
+            )
+            index.update(replacement)
+        # The epoch-0 generation emptied out and was recycled (§3.2).
+        assert index.generation_epochs == [1]
+        assert len(index) == 30
+
+    def test_queries_union_generations(self):
+        index = make_rotating()
+        rng = random.Random(4)
+        objects = {}
+        for obj in random_objects(rng, 60, t0_max=100.0):
+            index.insert(obj)
+            objects[obj.oid] = obj
+        for oid in list(objects)[::2]:
+            replacement = MobileObject1D(
+                oid,
+                LinearMotion1D(
+                    rng.uniform(0, 1000),
+                    rng.choice([-1, 1]) * rng.uniform(0.16, 1.66),
+                    T_PERIOD + 50.0,
+                ),
+            )
+            index.update(replacement)
+            objects[oid] = replacement
+        assert index.generation_count == 2
+        for query in random_queries(rng, 25, t_now=T_PERIOD + 100.0, tw_max=60.0):
+            assert index.query(query) == brute_force_1d(
+                objects.values(), query
+            )
+
+    def test_intercepts_stay_bounded(self):
+        """The rotation's whole point: generation-local intercepts are
+        computed against the generation epoch, so they never grow with
+        absolute time."""
+        index = make_rotating()
+        # An object updating far in the future: epoch-k generation.
+        far = 7 * T_PERIOD + 123.0
+        obj = MobileObject1D(
+            1, LinearMotion1D(y0=500.0, v=1.0, t0=far)
+        )
+        index.insert(obj)
+        (epoch,) = index.generation_epochs
+        assert epoch == 7
+        generation = index._generations[epoch]
+        point = generation._trees[1].point_of(1)
+        # Intercept measured at the epoch reference: within one period's
+        # drift of the terrain, NOT ~7 * T_period.
+        assert abs(point[1]) <= PAPER_MODEL.terrain.y_max + 1.66 * T_PERIOD
+
+    def test_delete_unknown(self):
+        index = make_rotating()
+        with pytest.raises(ObjectNotFoundError):
+            index.delete(404)
+
+    def test_len_and_pages(self):
+        index = make_rotating()
+        rng = random.Random(5)
+        for obj in random_objects(rng, 20):
+            index.insert(obj)
+        assert len(index) == 20
+        assert index.pages_in_use > 0
+        index.clear_buffers()

@@ -1,0 +1,87 @@
+"""Tests for the route-network workload driver (§4.1)."""
+
+import pytest
+
+from repro.workloads.route_workload import (
+    RouteScenario,
+    grid_network,
+    star_network,
+)
+
+
+class TestNetworks:
+    def test_grid(self):
+        routes = grid_network(lanes=3, span=600.0)
+        assert len(routes) == 6
+        assert len({r.route_id for r in routes}) == 6
+        for route in routes:
+            assert route.length == pytest.approx(600.0)
+
+    def test_star(self):
+        routes = star_network(spokes=5, span=1000.0)
+        assert len(routes) == 5
+        for route in routes:
+            assert route.length == pytest.approx(500.0)
+            assert route.points[0] == (500.0, 500.0)
+
+
+class TestRouteScenario:
+    def test_scenario_validates_against_oracle(self):
+        scenario = RouteScenario(
+            grid_network(lanes=3),
+            n=150,
+            ticks=10,
+            reroutes_per_tick=3,
+            queries_per_instant=5,
+            query_instants=2,
+            seed=17,
+        )
+        result = scenario.run(validate=True)
+        assert result.update_count > 0
+        assert len(result.answer_sizes) == 10
+        assert len(result.query_ios) == 10
+        assert result.avg_query_io > 0
+        assert result.space_pages > 0
+
+    def test_star_network_scenario(self):
+        scenario = RouteScenario(
+            star_network(spokes=4),
+            n=80,
+            ticks=8,
+            seed=19,
+        )
+        result = scenario.run(validate=True)
+        assert result.n == 80
+        assert result.space_pages > 0
+
+    def test_reproducible(self):
+        def run():
+            scenario = RouteScenario(grid_network(lanes=2), n=50, ticks=6, seed=23)
+            return scenario.run().answer_sizes
+
+        assert run() == run()
+
+
+class TestCustomRouteIndexFactory:
+    def test_kdtree_backed_routes(self):
+        from repro.indexes import DualKDTreeIndex
+
+        scenario = RouteScenario(
+            grid_network(lanes=2),
+            n=60,
+            ticks=6,
+            seed=29,
+            index_factory=lambda m: DualKDTreeIndex(m, leaf_capacity=8),
+        )
+        result = scenario.run(validate=True)
+        assert result.space_pages > 0
+
+    def test_position_of_helper(self):
+        from repro.core import LinearMotion1D
+        from repro.twod import Route, RouteNetworkIndex
+
+        route = Route(1, ((0.0, 0.0), (100.0, 0.0)))
+        net = RouteNetworkIndex([route], 0.1, 2.0)
+        motion = LinearMotion1D(10.0, 1.0, 0.0)
+        net.insert(1, 1, motion)
+        assert net.position_of(1, motion, t=15.0) == (25.0, 0.0)

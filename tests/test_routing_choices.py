@@ -1,0 +1,95 @@
+"""Tests for probabilistic route choices (§7 future work)."""
+
+import pytest
+
+from repro.twod import Route
+from repro.workloads.route_workload import grid_network
+from repro.workloads.routing_choices import (
+    ProbabilisticRouteScenario,
+    find_junctions,
+)
+
+
+class TestJunctions:
+    def test_perpendicular_crossing(self):
+        routes = [
+            Route(1, ((0.0, 5.0), (10.0, 5.0))),
+            Route(2, ((5.0, 0.0), (5.0, 10.0))),
+        ]
+        junctions = find_junctions(routes)
+        assert len(junctions) == 1
+        j = junctions[0]
+        assert j.point == (5.0, 5.0)
+        assert j.arc_on(1) == pytest.approx(5.0)
+        assert j.arc_on(2) == pytest.approx(5.0)
+        assert j.other_route(1) == 2
+        assert j.other_route(2) == 1
+        with pytest.raises(KeyError):
+            j.arc_on(99)
+
+    def test_parallel_routes_no_junction(self):
+        routes = [
+            Route(1, ((0.0, 0.0), (10.0, 0.0))),
+            Route(2, ((0.0, 5.0), (10.0, 5.0))),
+        ]
+        assert find_junctions(routes) == []
+
+    def test_grid_junction_count(self):
+        # k horizontal x k vertical lanes cross k*k times.
+        routes = grid_network(lanes=3)
+        assert len(find_junctions(routes)) == 9
+
+    def test_polyline_crossing_arc_positions(self):
+        bent = Route(1, ((0.0, 0.0), (10.0, 0.0), (10.0, 10.0)))
+        vertical = Route(2, ((5.0, -5.0), (5.0, 5.0)))
+        junctions = find_junctions([bent, vertical])
+        assert len(junctions) == 1
+        assert junctions[0].arc_on(1) == pytest.approx(5.0)
+        # Vertical route starts at (5, -5); the crossing (5, 0) is 5 along.
+        assert junctions[0].arc_on(2) == pytest.approx(5.0)
+
+
+class TestProbabilisticScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticRouteScenario(
+                grid_network(lanes=2), n=10, switch_probability=1.5
+            )
+
+    def test_switches_happen_and_answers_stay_exact(self):
+        scenario = ProbabilisticRouteScenario(
+            grid_network(lanes=3),
+            n=80,
+            switch_probability=0.8,
+            ticks=120,
+            queries_per_instant=4,
+            query_instants=2,
+            seed=31,
+        )
+        scenario.run_with_choices(validate=True)
+        assert scenario.switches_taken > 0
+
+    def test_zero_probability_never_switches(self):
+        scenario = ProbabilisticRouteScenario(
+            grid_network(lanes=3),
+            n=50,
+            switch_probability=0.0,
+            ticks=60,
+            seed=37,
+        )
+        scenario.run_with_choices(validate=True)
+        assert scenario.switches_taken == 0
+
+    def test_higher_probability_more_switches(self):
+        counts = {}
+        for p in (0.2, 0.9):
+            scenario = ProbabilisticRouteScenario(
+                grid_network(lanes=3),
+                n=120,
+                switch_probability=p,
+                ticks=200,
+                seed=41,
+            )
+            scenario.run_with_choices()
+            counts[p] = scenario.switches_taken
+        assert counts[0.9] > counts[0.2]

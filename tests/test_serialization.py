@@ -1,0 +1,108 @@
+"""Tests for workload serialization and trace replay."""
+
+import random
+
+import pytest
+
+from repro.core import MORQuery1D, brute_force_1d
+from repro.errors import InvalidQueryError
+from repro.indexes import DualKDTreeIndex, HoughYForestIndex
+from repro.workloads.serialization import (
+    load_population,
+    population_from_json,
+    population_to_json,
+    queries_from_json,
+    queries_to_json,
+    replay_trace,
+    save_population,
+    trace_from_json,
+    trace_to_json,
+)
+
+from .helpers import PAPER_MODEL, random_objects, random_queries
+
+
+class TestPopulationRoundtrip:
+    def test_json_roundtrip(self):
+        rng = random.Random(1)
+        objects = random_objects(rng, 50)
+        assert population_from_json(population_to_json(objects)) == objects
+
+    def test_file_roundtrip(self, tmp_path):
+        rng = random.Random(2)
+        objects = random_objects(rng, 20)
+        path = tmp_path / "population.json"
+        save_population(str(path), objects)
+        assert load_population(str(path)) == objects
+
+    def test_malformed_payload(self):
+        with pytest.raises(InvalidQueryError):
+            population_from_json('{"objects": [{"oid": 1}]}')
+
+
+class TestQueryRoundtrip:
+    def test_json_roundtrip(self):
+        rng = random.Random(3)
+        queries = random_queries(rng, 20)
+        assert queries_from_json(queries_to_json(queries)) == queries
+
+    def test_malformed(self):
+        with pytest.raises(InvalidQueryError):
+            queries_from_json('{"queries": [{"y1": 0}]}')
+
+
+class TestTraceReplay:
+    def build_trace(self, rng, steps=150):
+        events = []
+        live = {}
+        next_id = 0
+        now = 0.0
+        for _ in range(steps):
+            now += rng.uniform(0, 1)
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                speed = rng.uniform(0.16, 1.66) * rng.choice([-1, 1])
+                events.append(
+                    dict(kind="insert", oid=next_id,
+                         y0=rng.uniform(0, 1000), v=speed, t0=now)
+                )
+                live[next_id] = events[-1]
+                next_id += 1
+            elif roll < 0.7:
+                oid = rng.choice(list(live))
+                speed = rng.uniform(0.16, 1.66) * rng.choice([-1, 1])
+                events.append(
+                    dict(kind="update", oid=oid,
+                         y0=rng.uniform(0, 1000), v=speed, t0=now)
+                )
+                live[oid] = events[-1]
+            elif roll < 0.82:
+                oid = rng.choice(list(live))
+                events.append(dict(kind="delete", oid=oid))
+                del live[oid]
+            else:
+                y1 = rng.uniform(0, 900)
+                events.append(
+                    dict(kind="query", y1=y1, y2=y1 + 100,
+                         t1=now, t2=now + 30)
+                )
+        return events
+
+    def test_replay_is_method_independent(self):
+        rng = random.Random(7)
+        events = self.build_trace(rng)
+        payload = trace_to_json(events)
+        restored = trace_from_json(payload)
+        a = replay_trace(
+            DualKDTreeIndex(PAPER_MODEL, leaf_capacity=8), restored
+        )
+        b = replay_trace(
+            HoughYForestIndex(PAPER_MODEL, c=3, leaf_capacity=8), restored
+        )
+        assert a == b
+        assert len(a) == sum(1 for e in events if e["kind"] == "query")
+
+    def test_unknown_event_kind(self):
+        index = DualKDTreeIndex(PAPER_MODEL, leaf_capacity=8)
+        with pytest.raises(InvalidQueryError):
+            replay_trace(index, [dict(kind="explode")])

@@ -1,0 +1,180 @@
+"""Hypothesis stateful machines for the core disk structures.
+
+Rule-based state machines drive each structure through arbitrary
+interleavings of its operations while a pure-Python model shadows it;
+invariants are re-checked after every step.  This is the strongest
+correctness net in the suite — hypothesis shrinks any divergence to a
+minimal operation sequence.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.bptree import BPlusTree
+from repro.interval import IntervalTree
+from repro.io_sim import DiskSimulator
+from repro.kdtree import KDTree, Orthotope
+from repro.rtree import Rect, RStarTree
+
+KEYS = st.integers(min_value=0, max_value=200)
+COORDS = st.floats(
+    min_value=0, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(DiskSimulator(), leaf_capacity=4,
+                              internal_capacity=4)
+        self.model = {}
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        if key in self.model:
+            return
+        self.tree.insert(key, key * 3)
+        self.model[key] = key * 3
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        assert self.tree.delete(key) == self.model.pop(key)
+
+    @rule(lo=KEYS, hi=KEYS)
+    def range_search(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        expected = [self.model[k] for k in sorted(self.model) if lo <= k <= hi]
+        assert self.tree.range_search(lo, hi) == expected
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+class RStarMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = RStarTree(DiskSimulator(), leaf_capacity=4,
+                              internal_capacity=4)
+        self.model = {}
+        self.next_id = 0
+
+    @rule(x=COORDS, y=COORDS, w=COORDS, h=COORDS)
+    def insert(self, x, y, w, h):
+        rect = Rect(x, y, x + w / 10, y + h / 10)
+        self.tree.insert(rect, self.next_id)
+        self.model[self.next_id] = rect
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.model))
+        self.tree.delete(oid)
+        del self.model[oid]
+
+    @rule(x=COORDS, y=COORDS, w=COORDS, h=COORDS)
+    def window_query(self, x, y, w, h):
+        window = Rect(x, y, x + w, y + h)
+        expected = {
+            oid for oid, r in self.model.items() if r.intersects(window)
+        }
+        assert set(self.tree.search_rect(window)) == expected
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+class KDTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = KDTree(DiskSimulator(), dims=2, leaf_capacity=4,
+                           directory_capacity=8)
+        self.model = {}
+        self.next_id = 0
+
+    @rule(x=COORDS, y=COORDS)
+    def insert(self, x, y):
+        self.tree.insert((x, y), self.next_id)
+        self.model[self.next_id] = (x, y)
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        oid = pick.choice(sorted(self.model))
+        self.tree.delete(oid)
+        del self.model[oid]
+
+    @rule(x=COORDS, y=COORDS, w=COORDS, h=COORDS)
+    def box_query(self, x, y, w, h):
+        box = Orthotope((x, y), (x + w, y + h))
+        expected = {
+            oid for oid, p in self.model.items() if box.contains(p)
+        }
+        assert {oid for _, oid in self.tree.search(box)} == expected
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+class IntervalMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = IntervalTree(DiskSimulator(), leaf_capacity=4)
+        self.model = {}  # handle -> (left, right, payload)
+        self.next_id = 0
+
+    @rule(a=COORDS, b=COORDS)
+    def insert(self, a, b):
+        left, right = min(a, b), max(a, b)
+        handle = self.tree.insert(left, right, self.next_id)
+        self.model[handle] = (left, right, self.next_id)
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.randoms(use_true_random=False))
+    def delete(self, pick):
+        handle = pick.choice(sorted(self.model))
+        _, _, payload = self.model.pop(handle)
+        assert self.tree.delete(handle) == payload
+
+    @rule(a=COORDS, b=COORDS)
+    def overlap_query(self, a, b):
+        ql, qh = min(a, b), max(a, b)
+        expected = sorted(
+            payload
+            for (left, right, payload) in self.model.values()
+            if left <= qh and right >= ql
+        )
+        assert sorted(self.tree.overlapping(ql, qh)) == expected
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+COMMON = settings(max_examples=12, stateful_step_count=40, deadline=None)
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = COMMON
+TestRStarStateful = RStarMachine.TestCase
+TestRStarStateful.settings = COMMON
+TestKDTreeStateful = KDTreeMachine.TestCase
+TestKDTreeStateful.settings = COMMON
+TestIntervalStateful = IntervalMachine.TestCase
+TestIntervalStateful.settings = COMMON

@@ -1,0 +1,142 @@
+"""Tests for the 1-D TPR-tree comparator (extension beyond the paper)."""
+
+import random
+
+import pytest
+
+from repro.core import LinearMotion1D, MORQuery1D, MobileObject1D, brute_force_1d
+from repro.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.indexes import TPRTreeIndex
+from repro.indexes.tpr import MovingInterval
+
+from .helpers import PAPER_MODEL, random_objects, random_queries
+
+
+class TestMovingInterval:
+    def test_point_of_motion(self):
+        motion = LinearMotion1D(100.0, 1.5, 10.0)
+        interval = MovingInterval.of_motion(motion, 10.0)
+        assert interval.bounds_at(10.0) == (100.0, 100.0)
+        assert interval.bounds_at(20.0) == (115.0, 115.0)
+
+    def test_union_is_conservative(self):
+        a = MovingInterval(0.0, 10.0, -1.0, 1.0, 0.0)
+        b = MovingInterval(20.0, 30.0, 0.5, 2.0, 0.0)
+        u = a.union(b)
+        for t in (0.0, 5.0, 50.0):
+            for child in (a, b):
+                c_lo, c_hi = child.bounds_at(t)
+                u_lo, u_hi = u.bounds_at(t)
+                assert u_lo <= c_lo and c_hi <= u_hi
+
+    def test_union_rebase(self):
+        a = MovingInterval(0.0, 10.0, 0.0, 0.0, 0.0)
+        b = MovingInterval(100.0, 110.0, -1.0, -1.0, 50.0)
+        u = a.union(b)
+        assert u.t_ref == 0.0
+        # b at t=0 extrapolates back to [150, 160].
+        assert u.bounds_at(0.0) == (0.0, 160.0)
+
+    def test_may_meet(self):
+        # Moving up from [0, 10] at speed 1: meets [100, 110] at t ~ 90+.
+        interval = MovingInterval(0.0, 10.0, 1.0, 1.0, 0.0)
+        assert interval.may_meet(MORQuery1D(100.0, 110.0, 90.0, 95.0))
+        assert not interval.may_meet(MORQuery1D(100.0, 110.0, 0.0, 50.0))
+        assert not interval.may_meet(MORQuery1D(100.0, 110.0, 200.0, 300.0))
+
+    def test_may_meet_growing_interval(self):
+        # Diverging bounds cover everything eventually.
+        interval = MovingInterval(500.0, 500.0, -1.0, 1.0, 0.0)
+        assert interval.may_meet(MORQuery1D(0.0, 10.0, 490.0, 600.0))
+        assert not interval.may_meet(MORQuery1D(0.0, 10.0, 0.0, 100.0))
+
+
+class TestTPRTree:
+    def test_conformance_with_oracle(self):
+        rng = random.Random(41)
+        objects = random_objects(rng, 300)
+        tpr = TPRTreeIndex(PAPER_MODEL, page_capacity=8)
+        for obj in objects:
+            tpr.insert(obj)
+        tpr.check_invariants()
+        for query in random_queries(rng, 30):
+            assert tpr.query(query) == brute_force_1d(objects, query)
+
+    def test_errors(self):
+        tpr = TPRTreeIndex(PAPER_MODEL, page_capacity=8)
+        obj = MobileObject1D(1, LinearMotion1D(10.0, 1.0, 0.0))
+        tpr.insert(obj)
+        with pytest.raises(DuplicateObjectError):
+            tpr.insert(obj)
+        with pytest.raises(ObjectNotFoundError):
+            tpr.delete(404)
+        with pytest.raises(ValueError):
+            TPRTreeIndex(PAPER_MODEL, page_capacity=2)
+
+    def test_bounds_tighten_on_touch(self):
+        """Rewriting a node re-anchors its bound: the root bound after a
+        late insert must not balloon to the stale union."""
+        tpr = TPRTreeIndex(PAPER_MODEL, page_capacity=4)
+        rng = random.Random(43)
+        for obj in random_objects(rng, 60, t0_max=1.0):
+            tpr.insert(obj)
+        root = tpr._disk.peek(tpr._root_pid)
+        anchors = [mbr.t_ref for mbr, _ in root.items]
+        # Insert fresh objects far in the future: touched paths re-anchor.
+        for oid in range(1000, 1020):
+            tpr.insert(
+                MobileObject1D(
+                    oid, LinearMotion1D(rng.uniform(0, 1000), 1.0, 500.0)
+                )
+            )
+        root = tpr._disk.peek(tpr._root_pid)
+        new_anchors = [mbr.t_ref for mbr, _ in root.items]
+        assert max(new_anchors) >= 500.0
+        assert max(new_anchors) > max(anchors)
+        tpr.check_invariants()
+
+    def test_staleness_costs_io(self):
+        """Queries long after the last update pay for grown bounds."""
+        rng = random.Random(47)
+        objects = random_objects(rng, 800, t0_max=1.0)
+        tpr = TPRTreeIndex(PAPER_MODEL, page_capacity=16)
+        for obj in objects:
+            tpr.insert(obj)
+
+        def probe_cost(now):
+            total = 0
+            probe_rng = random.Random(5)
+            for _ in range(20):
+                y1 = probe_rng.uniform(0, 900)
+                query = MORQuery1D(y1, y1 + 20, now, now + 10)
+                tpr.clear_buffers()
+                snap = tpr.snapshot()
+                tpr.query(query)
+                total += tpr.io_cost_since(snap)
+            return total
+
+        soon = probe_cost(now=10.0)
+        late = probe_cost(now=2000.0)
+        assert late > soon  # bounds have spread: weaker pruning
+
+    def test_horizon_parameter(self):
+        tpr = TPRTreeIndex(PAPER_MODEL, horizon=120.0, page_capacity=8)
+        assert tpr.horizon == 120.0
+        rng = random.Random(53)
+        for obj in random_objects(rng, 100):
+            tpr.insert(obj)
+        tpr.check_invariants()
+
+    def test_delete_everything(self):
+        rng = random.Random(59)
+        objects = random_objects(rng, 150)
+        tpr = TPRTreeIndex(PAPER_MODEL, page_capacity=8)
+        for obj in objects:
+            tpr.insert(obj)
+        order = list(range(150))
+        rng.shuffle(order)
+        for oid in order:
+            tpr.delete(oid)
+        assert len(tpr) == 0
+        assert tpr.height == 1
+        assert tpr._disk.pages_in_use == 1

@@ -1,0 +1,284 @@
+"""Tests for the 1.5-D route network and the planar (2-D) methods."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    LinearMotion1D,
+    LinearMotion2D,
+    MORQuery2D,
+    MobileObject2D,
+    Terrain2D,
+    brute_force_2d,
+    matches_2d,
+)
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidMotionError,
+    ObjectNotFoundError,
+)
+from repro.rtree import Rect
+from repro.twod import (
+    PlanarDecompositionIndex,
+    PlanarKDTreeIndex,
+    PlanarModel,
+    PlanarTPRTreeIndex,
+    Route,
+    RouteNetworkIndex,
+    axis_wedge,
+)
+from repro.core.queries import MORQuery1D
+
+
+class TestRoute:
+    L_ROUTE = Route(1, ((0.0, 0.0), (10.0, 0.0), (10.0, 10.0)))
+
+    def test_validation(self):
+        with pytest.raises(InvalidMotionError):
+            Route(1, ((0.0, 0.0),))
+        with pytest.raises(InvalidMotionError):
+            Route(1, ((0.0, 0.0), (0.0, 0.0)))
+
+    def test_arc_length(self):
+        assert self.L_ROUTE.length == 20.0
+        assert self.L_ROUTE.offsets == (0.0, 10.0, 20.0)
+
+    def test_position_at(self):
+        assert self.L_ROUTE.position_at(5.0) == (5.0, 0.0)
+        assert self.L_ROUTE.position_at(10.0) == (10.0, 0.0)
+        assert self.L_ROUTE.position_at(15.0) == (10.0, 5.0)
+        assert self.L_ROUTE.position_at(-3.0) == (0.0, 0.0)  # clamped
+        assert self.L_ROUTE.position_at(99.0) == (10.0, 10.0)
+
+    def test_clip_segment(self):
+        rect = Rect(2.0, -1.0, 6.0, 1.0)
+        assert self.L_ROUTE.clip_segment_to_rect(0, rect) == (2.0, 6.0)
+        assert self.L_ROUTE.clip_segment_to_rect(1, rect) is None
+        # Diagonal segment clipping.
+        diag = Route(2, ((0.0, 0.0), (10.0, 10.0)))
+        lo, hi = diag.clip_segment_to_rect(0, Rect(0, 0, 5, 5))
+        assert lo == 0.0
+        assert hi == pytest.approx(math.dist((0, 0), (5, 5)))
+
+
+def make_network():
+    routes = [
+        Route(1, ((0.0, 0.0), (100.0, 0.0))),  # horizontal highway
+        Route(2, ((50.0, -50.0), (50.0, 50.0))),  # vertical highway
+        Route(3, ((0.0, 40.0), (30.0, 40.0), (30.0, 80.0))),  # L-shaped
+    ]
+    return RouteNetworkIndex(routes, v_min=0.1, v_max=2.0)
+
+
+class TestRouteNetworkIndex:
+    def test_network_validation(self):
+        with pytest.raises(InvalidMotionError):
+            RouteNetworkIndex([], 0.1, 2.0)
+        route = Route(1, ((0.0, 0.0), (1.0, 0.0)))
+        with pytest.raises(DuplicateObjectError):
+            RouteNetworkIndex([route, route], 0.1, 2.0)
+
+    def test_insert_and_query(self):
+        net = make_network()
+        # Object on route 1 moving right, starting at arc length 10.
+        net.insert(1, 1, LinearMotion1D(10.0, 1.0, 0.0))
+        # Object on route 2 moving up from the bottom.
+        net.insert(2, 2, LinearMotion1D(0.0, 1.0, 0.0))
+        # Query a box around (50, 0) for the near future.
+        query = MORQuery2D(40.0, 60.0, -5.0, 5.0, 30.0, 50.0)
+        # Object 1 is at x=40..60 during t in [30, 50]; y=0 inside box.
+        # Object 2 is at y in [-20, 0]=arc 30..50 -> y=-20..0, position
+        # (50, y): reaches y >= -5 at t=45 -> inside.
+        assert net.query(query) == {1, 2}
+
+    def test_route_membership_errors(self):
+        net = make_network()
+        with pytest.raises(ObjectNotFoundError):
+            net.insert(1, 99, LinearMotion1D(0.0, 1.0))
+        net.insert(1, 1, LinearMotion1D(0.0, 1.0))
+        with pytest.raises(DuplicateObjectError):
+            net.insert(1, 2, LinearMotion1D(0.0, 1.0))
+        with pytest.raises(ObjectNotFoundError):
+            net.delete(42)
+
+    def test_update_moves_object_between_routes(self):
+        net = make_network()
+        net.insert(1, 1, LinearMotion1D(10.0, 1.0, 0.0))
+        net.update(1, 3, LinearMotion1D(0.0, 1.0, 0.0))
+        assert len(net) == 1
+        # Now on route 3: at t=10 it is at arc 10 -> (10, 40).
+        query = MORQuery2D(5.0, 15.0, 35.0, 45.0, 10.0, 10.0)
+        assert net.query(query) == {1}
+
+    def test_queries_match_brute_force_over_routes(self):
+        net = make_network()
+        rng = random.Random(55)
+        placements = {}
+        for oid in range(120):
+            route_id = rng.choice([1, 2, 3])
+            route = net.routes[route_id]
+            s0 = rng.uniform(0, route.length)
+            v = rng.choice([-1, 1]) * rng.uniform(0.1, 2.0)
+            motion = LinearMotion1D(s0, v, 0.0)
+            net.insert(oid, route_id, motion)
+            placements[oid] = (route, motion)
+        for _ in range(40):
+            x1 = rng.uniform(-10, 90)
+            y1 = rng.uniform(-60, 70)
+            query = MORQuery2D(
+                x1, x1 + rng.uniform(5, 40), y1, y1 + rng.uniform(5, 40),
+                rng.uniform(0, 20), rng.uniform(20, 40),
+            )
+            expected = set()
+            rect = Rect(query.x1, query.y1, query.x2, query.y2)
+            for oid, (route, motion) in placements.items():
+                for i in range(route.segment_count):
+                    clipped = route.clip_segment_to_rect(i, rect)
+                    if clipped is None:
+                        continue
+                    interval = motion.time_interval_in_range(*clipped)
+                    if interval is None:
+                        continue
+                    if max(interval[0], query.t1) <= min(interval[1], query.t2):
+                        expected.add(oid)
+                        break
+            assert net.query(query) == expected
+
+    def test_space_and_buffers(self):
+        net = make_network()
+        assert net.pages_in_use > 0
+        net.clear_buffers()
+
+
+PLANAR_MODEL = PlanarModel(Terrain2D(1000.0, 1000.0), v_max=2.0)
+
+
+def random_planar_objects(rng, n):
+    objects = []
+    for oid in range(n):
+        motion = LinearMotion2D(
+            x0=rng.uniform(0, 1000),
+            y0=rng.uniform(0, 1000),
+            vx=rng.uniform(-2, 2),
+            vy=rng.uniform(-2, 2),
+            t0=rng.uniform(0, 20),
+        )
+        objects.append(MobileObject2D(oid, motion))
+    return objects
+
+
+def random_planar_queries(rng, n):
+    queries = []
+    for _ in range(n):
+        x1 = rng.uniform(0, 900)
+        y1 = rng.uniform(0, 900)
+        t1 = 20.0 + rng.uniform(0, 40)
+        queries.append(
+            MORQuery2D(
+                x1, x1 + rng.uniform(0, 150),
+                y1, y1 + rng.uniform(0, 150),
+                t1, t1 + rng.uniform(0, 30),
+            )
+        )
+    return queries
+
+
+class TestAxisWedge:
+    def test_wedge_equals_axis_predicate(self):
+        rng = random.Random(77)
+        query = MORQuery1D(100, 300, 30, 60)
+        for _ in range(300):
+            v = rng.uniform(-2, 2)
+            a = rng.uniform(-100, 1100)
+            motion = LinearMotion1D(a, v, 0.0)
+            sign = 1 if v >= 0 else -1
+            wedge = axis_wedge(query, sign, v_cap=2.0)
+            y_lo = min(motion.position(30), motion.position(60))
+            y_hi = max(motion.position(30), motion.position(60))
+            expected = y_lo <= 300 and y_hi >= 100
+            assert wedge.contains(v, a) == expected
+
+    def test_zero_velocity_in_positive_wedge(self):
+        query = MORQuery1D(0, 10, 0, 1)
+        wedge = axis_wedge(query, +1, v_cap=2.0)
+        assert wedge.contains(0.0, 5.0)
+        assert not wedge.contains(0.0, 20.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: PlanarKDTreeIndex(PLANAR_MODEL, leaf_capacity=16),
+        lambda: PlanarDecompositionIndex(PLANAR_MODEL, leaf_capacity=16),
+        lambda: PlanarTPRTreeIndex(PLANAR_MODEL, page_capacity=8),
+    ],
+    ids=["kdtree-4d", "decomposition", "tpr-2d"],
+)
+class TestPlanarIndexes:
+    def test_queries_match_brute_force(self, factory):
+        index = factory()
+        rng = random.Random(88)
+        objects = random_planar_objects(rng, 250)
+        for obj in objects:
+            index.insert(obj)
+        assert len(index) == 250
+        for query in random_planar_queries(rng, 25):
+            assert index.query(query) == brute_force_2d(objects, query)
+
+    def test_updates_and_deletes(self, factory):
+        index = factory()
+        rng = random.Random(89)
+        objects = {o.oid: o for o in random_planar_objects(rng, 120)}
+        for obj in objects.values():
+            index.insert(obj)
+        for oid in list(objects)[::2]:
+            new = MobileObject2D(
+                oid,
+                LinearMotion2D(
+                    rng.uniform(0, 1000), rng.uniform(0, 1000),
+                    rng.uniform(-2, 2), rng.uniform(-2, 2), t0=25.0,
+                ),
+            )
+            index.update(new)
+            objects[oid] = new
+        for oid in list(objects)[::3]:
+            index.delete(oid)
+            del objects[oid]
+        for query in random_planar_queries(rng, 15):
+            assert index.query(query) == brute_force_2d(
+                objects.values(), query
+            )
+
+    def test_error_paths(self, factory):
+        index = factory()
+        obj = MobileObject2D(1, LinearMotion2D(10, 10, 1.0, -1.0))
+        index.insert(obj)
+        with pytest.raises(DuplicateObjectError):
+            index.insert(obj)
+        with pytest.raises(ObjectNotFoundError):
+            index.delete(99)
+        with pytest.raises(InvalidMotionError):
+            index.insert(MobileObject2D(2, LinearMotion2D(10, 10, 5.0, 0.0)))
+        with pytest.raises(InvalidMotionError):
+            index.insert(MobileObject2D(3, LinearMotion2D(-5, 10, 1.0, 0.0)))
+        assert index.pages_in_use > 0
+        index.clear_buffers()
+
+
+class TestPlanarModel:
+    def test_validation(self):
+        with pytest.raises(InvalidMotionError):
+            PlanarModel(Terrain2D(10, 10), v_max=0.0)
+
+    def test_per_axis_time_overlap_matters(self):
+        """An object matching each axis at different times must not match."""
+        # Moves through x-range [0,10] during t in [0,10] and y-range
+        # [0,10] during t in [20,30]: never inside the box at one instant.
+        motion = LinearMotion2D(x0=0.0, y0=-20.0, vx=1.0, vy=1.0, t0=0.0)
+        query = MORQuery2D(0, 10, 0, 10, 0, 10)
+        assert not matches_2d(motion, query)
+        # A slower x-component keeps the axis windows overlapping.
+        slow_x = LinearMotion2D(x0=0.0, y0=-20.0, vx=0.2, vy=1.0, t0=0.0)
+        assert matches_2d(slow_x, MORQuery2D(0, 10, 0, 10, 0, 30))

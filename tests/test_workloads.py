@@ -1,0 +1,172 @@
+"""Tests for the workload generator and scenario driver."""
+
+import random
+
+import pytest
+
+from repro.core import brute_force_1d
+from repro.indexes import DualKDTreeIndex, HoughYForestIndex, NaiveScanIndex
+from repro.workloads import (
+    LARGE_QUERIES,
+    SMALL_QUERIES,
+    Scenario,
+    WorkloadConfig,
+    WorkloadGenerator,
+    paper_model,
+)
+
+
+class TestGenerator:
+    def test_paper_model(self):
+        model = paper_model()
+        assert model.terrain.y_max == 1000.0
+        assert model.v_min == 0.16
+        assert model.v_max == 1.66
+
+    def test_initial_population(self):
+        gen = WorkloadGenerator(seed=1)
+        objects = gen.initial_population(200)
+        assert len(objects) == 200
+        assert len({o.oid for o in objects}) == 200
+        for obj in objects:
+            gen.model.validate(obj.motion)
+
+    def test_reproducible_from_seed(self):
+        a = WorkloadGenerator(seed=7).initial_population(50)
+        b = WorkloadGenerator(seed=7).initial_population(50)
+        assert a == b
+        c = WorkloadGenerator(seed=8).initial_population(50)
+        assert a != c
+
+    def test_updates_keep_model_valid(self):
+        gen = WorkloadGenerator(seed=2)
+        obj = gen.initial_population(1)[0]
+        for now in (5.0, 10.0, 50.0):
+            obj = gen.random_update(obj, now)
+            gen.model.validate(obj.motion)
+            assert obj.motion.t0 == now
+
+    def test_reflect_flips_direction(self):
+        gen = WorkloadGenerator(seed=3)
+        obj = gen.initial_population(1)[0]
+        reflected = gen.reflect(obj, now=10.0)
+        assert reflected.motion.v == -obj.motion.v
+
+    def test_query_classes(self):
+        gen = WorkloadGenerator(seed=4)
+        for qclass in (LARGE_QUERIES, SMALL_QUERIES):
+            for _ in range(100):
+                q = gen.query(qclass, now=50.0)
+                assert 0 <= q.y1 <= q.y2 <= 1000.0
+                assert q.y2 - q.y1 <= qclass.yq_max
+                assert 50.0 <= q.t1 <= q.t2 <= 50.0 + qclass.tw_max
+
+    def test_selectivities_are_ordered(self):
+        """Large queries must select roughly 10x what small ones do."""
+        gen = WorkloadGenerator(seed=5)
+        objects = gen.initial_population(2000)
+        sizes = {}
+        for qclass in (LARGE_QUERIES, SMALL_QUERIES):
+            total = sum(
+                len(brute_force_1d(objects, gen.query(qclass, 50.0)))
+                for _ in range(50)
+            )
+            sizes[qclass.name] = total / 50 / len(objects)
+        assert sizes["10%"] > 3 * sizes["1%"]
+        assert 0.01 < sizes["10%"] < 0.30
+        assert sizes["1%"] < 0.05
+
+
+class TestWorkloadConfig:
+    def test_scaled(self):
+        cfg = WorkloadConfig(n=10000, updates_per_tick=200)
+        small = cfg.scaled(0.01)
+        assert small.n == 100
+        assert small.updates_per_tick == 2
+        assert small.ticks == cfg.ticks
+
+
+class TestScenario:
+    CFG = WorkloadConfig(
+        n=150,
+        updates_per_tick=3,
+        ticks=30,
+        query_instants=3,
+        queries_per_instant=5,
+        seed=11,
+    )
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda m: NaiveScanIndex(m, page_capacity=16),
+            lambda m: DualKDTreeIndex(m, leaf_capacity=16),
+            lambda m: HoughYForestIndex(m, c=4, leaf_capacity=16),
+        ],
+        ids=["naive", "kdtree", "forest"],
+    )
+    def test_run_validates_against_brute_force(self, factory):
+        scenario = Scenario(self.CFG)
+        index = factory(scenario.model)
+        result = scenario.run(index, LARGE_QUERIES, validate=True)
+        assert result.mismatches == 0
+        assert len(result.query_ios) == 15
+        assert result.space_pages > 0
+        assert result.update_ios  # reflections + random updates happened
+        assert result.avg_query_io > 0
+        assert result.avg_update_io > 0
+        assert result.avg_answer_size >= 0
+
+    def test_same_seed_same_workload(self):
+        r1 = Scenario(self.CFG).run(
+            NaiveScanIndex(paper_model(), page_capacity=16), SMALL_QUERIES
+        )
+        r2 = Scenario(self.CFG).run(
+            NaiveScanIndex(paper_model(), page_capacity=16), SMALL_QUERIES
+        )
+        assert r1.query_ios == r2.query_ios
+        assert r1.update_ios == r2.update_ios
+        assert r1.query_answer_sizes == r2.query_answer_sizes
+
+
+class TestDistributionPlumbing:
+    def test_generator_accepts_distribution(self):
+        from repro.workloads.distributions import GaussianClusters
+
+        gen = WorkloadGenerator(seed=9)
+        dist = GaussianClusters(centers=(500.0,), sigma=10.0)
+        objects = gen.initial_population(200, distribution=dist)
+        assert len(objects) == 200
+        near = sum(1 for o in objects if 450 <= o.motion.y0 <= 550)
+        assert near > 180
+        for obj in objects:
+            gen.model.validate(obj.motion)
+
+
+class TestOpenSystemChurn:
+    def test_arrivals_and_departures(self):
+        from repro.indexes import DualKDTreeIndex
+
+        cfg = WorkloadConfig(
+            n=100,
+            updates_per_tick=2,
+            ticks=20,
+            query_instants=2,
+            queries_per_instant=4,
+            arrivals_per_tick=3,
+            departures_per_tick=2,
+            seed=33,
+        )
+        scenario = Scenario(cfg)
+        index = DualKDTreeIndex(scenario.model, leaf_capacity=16)
+        result = scenario.run(index, SMALL_QUERIES, validate=True)
+        assert result.mismatches == 0
+        # Net growth: +1 object per tick.
+        assert len(index) == 100 + 20 * (3 - 2)
+
+    def test_scaled_preserves_churn(self):
+        cfg = WorkloadConfig(n=1000, arrivals_per_tick=10,
+                             departures_per_tick=10)
+        small = cfg.scaled(0.1)
+        assert small.arrivals_per_tick == 1
+        assert small.departures_per_tick == 1

@@ -1,0 +1,137 @@
+"""Tests for speed-limited terrain zones (§7 generalization)."""
+
+import random
+
+import pytest
+
+from repro.core import LinearMotion1D, MORQuery1D, MobileObject1D, brute_force_1d
+from repro.errors import InvalidMotionError, ObjectNotFoundError
+from repro.extensions.zones import SpeedZones, ZonedForestIndex
+
+# A city stretch (slow) between two highway stretches.
+ZONES = SpeedZones(
+    y_max=1000.0,
+    boundaries=(400.0, 600.0),
+    limits=(1.66, 0.5, 1.66),
+    v_min=0.16,
+)
+
+
+class TestSpeedZones:
+    def test_zone_lookup(self):
+        assert ZONES.zone_count == 3
+        assert ZONES.zone_of(0.0) == 0
+        assert ZONES.zone_of(399.9) == 0
+        assert ZONES.zone_of(400.0) == 1  # boundary belongs to the right
+        assert ZONES.zone_of(599.0) == 1
+        assert ZONES.zone_of(999.0) == 2
+        assert ZONES.limit_of(500.0) == 0.5
+
+    def test_zone_bounds(self):
+        assert ZONES.zone_bounds(0) == (0.0, 400.0)
+        assert ZONES.zone_bounds(1) == (400.0, 600.0)
+        assert ZONES.zone_bounds(2) == (600.0, 1000.0)
+
+    def test_validation(self):
+        ZONES.validate(LinearMotion1D(100.0, 1.5))  # highway speed ok
+        ZONES.validate(LinearMotion1D(500.0, -0.4))  # city speed ok
+        with pytest.raises(InvalidMotionError):
+            ZONES.validate(LinearMotion1D(500.0, 1.2))  # speeding in town
+        with pytest.raises(InvalidMotionError):
+            ZONES.validate(LinearMotion1D(100.0, 0.01))  # below v_min
+        with pytest.raises(InvalidMotionError):
+            ZONES.validate(LinearMotion1D(-5.0, 1.0))  # off terrain
+
+    def test_structure_validation(self):
+        with pytest.raises(InvalidMotionError):
+            SpeedZones(1000.0, (500.0,), (1.0,), 0.16)  # limits mismatch
+        with pytest.raises(InvalidMotionError):
+            SpeedZones(1000.0, (600.0, 400.0), (1.0, 1.0, 1.0), 0.16)
+        with pytest.raises(InvalidMotionError):
+            SpeedZones(1000.0, (1000.0,), (1.0, 1.0), 0.16)  # on the border
+        with pytest.raises(InvalidMotionError):
+            SpeedZones(1000.0, (500.0,), (1.0, 0.05), 0.16)  # limit < v_min
+
+    def test_next_boundary_time(self):
+        motion = LinearMotion1D(390.0, 1.0, 0.0)  # heading into the city
+        assert ZONES.next_boundary_time(motion) == pytest.approx(10.0)
+        down = LinearMotion1D(500.0, -0.5, 0.0)
+        assert ZONES.next_boundary_time(down) == pytest.approx(200.0)
+
+
+def zoned_population(rng, n):
+    objects = []
+    for oid in range(n):
+        y0 = rng.uniform(0, 1000)
+        limit = ZONES.limit_of(y0)
+        speed = rng.uniform(ZONES.v_min, limit)
+        direction = 1 if rng.random() < 0.5 else -1
+        objects.append(
+            MobileObject1D(oid, LinearMotion1D(y0, direction * speed, 0.0))
+        )
+    return objects
+
+
+class TestZonedForestIndex:
+    def test_matches_brute_force(self):
+        rng = random.Random(3)
+        index = ZonedForestIndex(ZONES, c=2, leaf_capacity=8)
+        objects = zoned_population(rng, 250)
+        for obj in objects:
+            index.insert(obj)
+        assert len(index) == 250
+        assert sum(index.zone_populations()) == 250
+        for _ in range(25):
+            y1 = rng.uniform(0, 900)
+            t1 = rng.uniform(0, 50)
+            query = MORQuery1D(y1, y1 + rng.uniform(0, 300), t1, t1 + 30)
+            assert index.query(query) == brute_force_1d(objects, query)
+
+    def test_zone_rules_enforced(self):
+        index = ZonedForestIndex(ZONES, c=2, leaf_capacity=8)
+        with pytest.raises(InvalidMotionError):
+            index.insert(MobileObject1D(1, LinearMotion1D(500.0, 1.2)))
+        index.insert(MobileObject1D(1, LinearMotion1D(500.0, 0.4)))
+        with pytest.raises(ObjectNotFoundError):
+            index.delete(2)
+
+    def test_boundary_update_moves_zones(self):
+        index = ZonedForestIndex(ZONES, c=2, leaf_capacity=8)
+        # Enter the city at the boundary: re-register with a legal speed.
+        index.insert(MobileObject1D(1, LinearMotion1D(390.0, 1.0, 0.0)))
+        assert index.zone_populations() == [1, 0, 0]
+        crossing_time = ZONES.next_boundary_time(LinearMotion1D(390.0, 1.0, 0.0))
+        index.update(
+            MobileObject1D(1, LinearMotion1D(400.0, 0.4, crossing_time))
+        )
+        assert index.zone_populations() == [0, 1, 0]
+        assert index.query(MORQuery1D(395.0, 420.0, 10.0, 60.0)) == {1}
+
+    def test_tighter_bands_reduce_waste(self):
+        """The geographic analogue of velocity clustering: the slow zone's
+        forest has a tiny spread factor."""
+        rng = random.Random(7)
+        index = ZonedForestIndex(ZONES, c=4, leaf_capacity=16)
+        flat = ZonedForestIndex(
+            SpeedZones(1000.0, (), (1.66,), 0.16), c=4, leaf_capacity=16
+        )
+        objects = zoned_population(rng, 300)
+        for obj in objects:
+            index.insert(obj)
+            flat.insert(obj)
+        zoned_waste = flat_waste = 0
+        for _ in range(40):
+            # Queries inside the slow city stretch.
+            y1 = rng.uniform(410, 540)
+            query = MORQuery1D(y1, y1 + 50, 10.0, 30.0)
+            for target, bucket in ((index, "zoned"), (flat, "flat")):
+                fetched = exact = 0
+                for forest in target._forests:
+                    f, e = forest.approximation_overhead(query)
+                    fetched += f
+                    exact += e
+                if bucket == "zoned":
+                    zoned_waste += fetched - exact
+                else:
+                    flat_waste += fetched - exact
+        assert zoned_waste < flat_waste
