@@ -1,12 +1,26 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install test bench figures examples results clean
+.PHONY: install test service-smoke service-tests bench figures examples results clean
 
 install:
 	python setup.py develop
 
-test:
+test: service-smoke
 	pytest tests/
+
+# Tiny end-to-end run of the sharded service: catches wiring breakage
+# (routing, batch executor, metrics snapshot) in seconds.
+service-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --n 200 --shards 3 --batches 2 \
+		--updates 20 --queries 10 --seed 1
+
+# The service differential + concurrency + metrics suites alone.
+service-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/test_service_differential.py \
+		tests/test_service_concurrency.py \
+		tests/test_service_metrics.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -56,6 +56,11 @@ from repro.indexes import (
 )
 from repro.engine import MotionDatabase
 from repro.kinetic import MOR1Index, StaggeredMOR1Index
+from repro.service import (
+    BatchExecutor,
+    MetricsRegistry,
+    ShardedMotionService,
+)
 from repro.twod import (
     PlanarDecompositionIndex,
     PlanarKDTreeIndex,
@@ -67,6 +72,7 @@ from repro.twod import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchExecutor",
     "INDEX_REGISTRY",
     "DualKDTreeIndex",
     "DualRTreeIndex",
@@ -79,6 +85,7 @@ __all__ = [
     "MORQuery2D",
     "MobileIndex1D",
     "MobileObject1D",
+    "MetricsRegistry",
     "MobileObject2D",
     "MotionDatabase",
     "MotionModel",
@@ -90,6 +97,7 @@ __all__ = [
     "Route",
     "RouteNetworkIndex",
     "SegmentRTreeIndex",
+    "ShardedMotionService",
     "StaggeredMOR1Index",
     "Terrain1D",
     "Terrain2D",

@@ -143,6 +143,30 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import ServeBenchConfig, run_serve_bench
+
+    config = ServeBenchConfig(
+        n=args.n,
+        shards=args.shards,
+        batches=args.batches,
+        updates_per_batch=args.updates,
+        queries_per_batch=args.queries,
+        proximity_every=args.proximity_every,
+        method=args.method,
+        router=args.router,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    try:
+        report = run_serve_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("registered 1-D index methods:")
     for name in sorted(INDEX_REGISTRY):
@@ -180,6 +204,30 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[250, 1000, 4000])
     mor1.add_argument("--seed", type=int, default=29)
     mor1.set_defaults(func=_cmd_mor1)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the sharded service and report per-shard metrics",
+    )
+    serve.add_argument("--n", type=int, default=2000,
+                       help="initial object population")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--batches", type=int, default=10)
+    serve.add_argument("--updates", type=int, default=100,
+                       help="motion reports per batch")
+    serve.add_argument("--queries", type=int, default=50,
+                       help="queries per batch")
+    serve.add_argument("--proximity-every", type=int, default=5,
+                       help="run a proximity join every Nth batch "
+                            "(0 disables)")
+    serve.add_argument("--method", default="forest",
+                       choices=["forest", "kdtree"])
+    serve.add_argument("--router", default="hash",
+                       choices=["hash", "velocity"])
+    serve.add_argument("--workers", type=int, default=0,
+                       help="thread-pool width (0 = one per shard)")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")
     listing.set_defaults(func=_cmd_list)

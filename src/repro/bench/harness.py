@@ -16,6 +16,7 @@ is directly comparable to the paper's figures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
@@ -31,6 +32,17 @@ from repro.workloads.scenario import Scenario, ScenarioResult
 
 #: Builds a fresh index for a run.
 MethodFactory = Callable[[MotionModel], MobileIndex1D]
+
+
+def _as_float(cell: object) -> float | None:
+    """``cell`` as a finite chartable number, or ``None`` if it isn't one."""
+    if isinstance(cell, bool):
+        return None
+    try:
+        value = float(cell)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    return value if math.isfinite(value) else None
 
 
 @dataclass
@@ -107,7 +119,9 @@ class Table:
         values = []
         for row in self.rows:
             cells = row[:x_column] + row[x_column + 1 :]
-            values.extend(float(c) for c in cells)
+            values.extend(
+                v for v in (_as_float(c) for c in cells) if v is not None
+            )
         top = max(values, default=0.0)
         if top <= 0:
             top = 1.0
@@ -123,9 +137,13 @@ class Table:
             x_value = row[x_column]
             cells = row[:x_column] + row[x_column + 1 :]
             for name, cell in zip(series, cells):
-                value = float(cell)
-                bar = "#" * max(1, round(width * value / top))
+                value = _as_float(cell)
                 label = f"{x_value} {name}".ljust(label_width)
+                if value is None:
+                    # Non-numeric cell: no bar, just the value verbatim.
+                    lines.append(f"{label} | {cell}")
+                    continue
+                bar = "#" * max(1, round(width * value / top))
                 lines.append(f"{label} |{bar} {cell}")
             lines.append("")
         return "\n".join(lines).rstrip()

@@ -97,7 +97,20 @@ class MotionDatabase:
         return oid in self._motions
 
     def register(self, oid: int, y0: float, v: float, t0: float) -> None:
-        """Add a new object with its initial motion information."""
+        """Add a new object with its initial motion information.
+
+        Raises :class:`InvalidMotionError` if ``oid`` is already
+        registered — re-registration is not an update; use
+        :meth:`report`.  The check happens before the index is touched,
+        so a rejected call leaves no partial state behind (previously a
+        ``DuplicateObjectError`` escaped from inside the index, after
+        the history clock had already advanced).
+        """
+        if oid in self._motions:
+            raise InvalidMotionError(
+                f"object {oid} is already registered; use report() to "
+                "supersede its motion"
+            )
         motion = LinearMotion1D(y0, v, t0)
         self._index.insert(MobileObject1D(oid, motion))
         self._motions[oid] = motion
@@ -129,6 +142,13 @@ class MotionDatabase:
             raise ObjectNotFoundError(f"object {oid} is not registered")
         return motion.position(t)
 
+    def objects(self) -> List[MobileObject1D]:
+        """The current population as mobile objects (a fresh list)."""
+        return [
+            MobileObject1D(oid, motion)
+            for oid, motion in self._motions.items()
+        ]
+
     # -- queries --------------------------------------------------------------------
 
     def within(
@@ -158,6 +178,26 @@ class MotionDatabase:
         )
         return {(min(a, b), max(a, b)) for a, b in directed}
 
+    def join_against(
+        self,
+        outer: List[MobileObject1D],
+        d: float,
+        t1: float,
+        t2: float,
+    ) -> Set[Tuple[int, int]]:
+        """Directed distance join of *external* objects against this DB.
+
+        For each outer object ``a``, report ``(a.oid, b.oid)`` for every
+        resident object ``b`` coming within ``d`` of ``a`` during the
+        window.  This is the candidate-exchange primitive the sharded
+        service uses to find proximity pairs that straddle two shards:
+        shard ``i`` ships its population as the outer relation and each
+        other shard answers with one indexed MOR probe per outer object.
+        """
+        return index_distance_join(
+            outer, self._index, self._motions.__getitem__, d, t1, t2
+        )
+
     def query_past(
         self, y1: float, y2: float, t1: float, t2: float
     ) -> Set[int]:
@@ -181,6 +221,14 @@ class MotionDatabase:
 
     def io_cost_since(self, snapshot: List[IOSnapshot]) -> int:
         return self._index.io_cost_since(snapshot)
+
+    def io_delta_since(self, snapshot: List[IOSnapshot]) -> IOSnapshot:
+        """Read/write/hit breakdown since ``snapshot`` was captured."""
+        return self._index.io_delta_since(snapshot)
+
+    def attach_io_listener(self, listener) -> None:
+        """Mirror this database's page touches into ``listener``."""
+        self._index.attach_io_listener(listener)
 
     def clear_buffers(self) -> None:
         self._index.clear_buffers()

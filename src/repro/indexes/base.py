@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence, Set, Type
 from repro.core.model import MobileObject1D, MotionModel
 from repro.core.queries import MORQuery1D
 from repro.io_sim.pager import DiskSimulator
-from repro.io_sim.stats import IOSnapshot
+from repro.io_sim.stats import IOSnapshot, IOStats
 
 
 class MobileIndex1D(abc.ABC):
@@ -69,11 +69,32 @@ class MobileIndex1D(abc.ABC):
 
     def io_cost_since(self, snapshots: List[IOSnapshot]) -> int:
         """Total page transfers since ``snapshots`` was captured."""
+        return self.io_delta_since(snapshots).total
+
+    def io_delta_since(self, snapshots: List[IOSnapshot]) -> IOSnapshot:
+        """Aggregate read/write/hit delta since ``snapshots`` was captured.
+
+        Like :meth:`io_cost_since` but keeps the read/write/buffer-hit
+        breakdown, which the service layer's per-operation metrics
+        record separately.
+        """
         current = self.snapshot()
-        return sum(
-            (after - before).total
-            for after, before in zip(current, snapshots)
-        )
+        delta = IOSnapshot()
+        for after, before in zip(current, snapshots):
+            delta = delta + (after - before)
+        return delta
+
+    def attach_io_listener(self, listener: IOStats) -> None:
+        """Mirror every page touch on every disk into ``listener``.
+
+        Indexes that re-create a disk internally (e.g. the slow store's
+        re-anchor rebuild) drop the listener for that disk; callers that
+        need exact per-operation costs should prefer snapshot deltas
+        (:meth:`io_delta_since`) and treat listener totals as live
+        aggregate telemetry.
+        """
+        for disk in self.disks:
+            disk.stats.set_listener(listener)
 
     @property
     def pages_in_use(self) -> int:

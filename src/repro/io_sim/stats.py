@@ -10,6 +10,7 @@ which owns one of these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 
 @dataclass
@@ -17,7 +18,9 @@ class IOSnapshot:
     """An immutable snapshot of the counters, used to measure an operation.
 
     Subtracting two snapshots (``after - before``) yields the I/O cost of
-    the work done between them.
+    the work done between them; adding snapshots aggregates costs across
+    disks (the multi-disk indexes and the service layer's per-shard
+    accounting both do this).
     """
 
     reads: int = 0
@@ -36,23 +39,55 @@ class IOSnapshot:
             buffer_hits=self.buffer_hits - other.buffer_hits,
         )
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+        )
+
+
+def combine_snapshots(snapshots: Iterable[IOSnapshot]) -> IOSnapshot:
+    """Sum snapshots from several disks into one aggregate."""
+    total = IOSnapshot()
+    for snapshot in snapshots:
+        total = total + snapshot
+    return total
+
 
 class IOStats:
-    """Mutable read/write/hit counters for one simulated disk."""
+    """Mutable read/write/hit counters for one simulated disk.
 
-    def __init__(self) -> None:
+    A *listener* — any object with the same ``record_*`` methods,
+    typically another :class:`IOStats` owned by a metrics registry —
+    can be attached to mirror every page touch into an aggregate
+    counter without the owner having to poll each disk.
+    """
+
+    def __init__(self, listener: Optional["IOStats"] = None) -> None:
         self.reads = 0
         self.writes = 0
         self.buffer_hits = 0
+        self._listener = listener
+
+    def set_listener(self, listener: Optional["IOStats"]) -> None:
+        """Attach (or detach, with ``None``) a mirroring listener."""
+        self._listener = listener
 
     def record_read(self) -> None:
         self.reads += 1
+        if self._listener is not None:
+            self._listener.record_read()
 
     def record_write(self) -> None:
         self.writes += 1
+        if self._listener is not None:
+            self._listener.record_write()
 
     def record_buffer_hit(self) -> None:
         self.buffer_hits += 1
+        if self._listener is not None:
+            self._listener.record_buffer_hit()
 
     @property
     def total(self) -> int:

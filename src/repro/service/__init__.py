@@ -1,0 +1,63 @@
+"""The scaling layer: sharded concurrent serving over MotionDatabase.
+
+* :mod:`repro.service.service` — :class:`ShardedMotionService`, the
+  hash/velocity-partitioned fan-out/merge engine;
+* :mod:`repro.service.executor` — :class:`BatchExecutor`, two-phase
+  (updates, then queries) epoch execution on a thread pool;
+* :mod:`repro.service.metrics` — :class:`MetricsRegistry`, counters +
+  latency/I-O histograms per operation and per shard;
+* :mod:`repro.service.sharding` — the routing policies;
+* :mod:`repro.service.bench` — the ``python -m repro serve-bench``
+  workload.
+"""
+
+from repro.service.bench import (
+    ServeBenchConfig,
+    ServeBenchReport,
+    run_serve_bench,
+)
+from repro.service.executor import (
+    BatchExecutor,
+    Deregister,
+    Nearest,
+    OpResult,
+    Operation,
+    ProximityPairs,
+    Register,
+    Report,
+    SnapshotAt,
+    Within,
+)
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.service import ROUTER_FACTORIES, ShardedMotionService
+from repro.service.sharding import (
+    HashRouter,
+    ShardRouter,
+    VelocityRouter,
+    mix_oid,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "Counter",
+    "Deregister",
+    "HashRouter",
+    "Histogram",
+    "MetricsRegistry",
+    "Nearest",
+    "OpResult",
+    "Operation",
+    "ProximityPairs",
+    "ROUTER_FACTORIES",
+    "Register",
+    "Report",
+    "ServeBenchConfig",
+    "ServeBenchReport",
+    "ShardRouter",
+    "ShardedMotionService",
+    "SnapshotAt",
+    "VelocityRouter",
+    "Within",
+    "mix_oid",
+    "run_serve_bench",
+]

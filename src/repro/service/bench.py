@@ -1,0 +1,244 @@
+"""The ``serve-bench`` workload: the service layer under traffic.
+
+Drives a :class:`~repro.service.service.ShardedMotionService` with a
+seeded multi-epoch workload — motion reports mixed with the full query
+menu, batched through the
+:class:`~repro.service.executor.BatchExecutor` — and reports what a
+service operator needs: throughput, p50/p99 latency and average
+simulated I/O per operation class, plus the per-shard breakdown that
+shows whether the routing policy balances load.
+
+Everything is deterministic from ``seed`` (the paper's reproducibility
+discipline), so the smoke target in CI can assert on structure without
+flaking.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import Table
+from repro.service.executor import (
+    BatchExecutor,
+    Nearest,
+    Operation,
+    ProximityPairs,
+    Register,
+    Report,
+    SnapshotAt,
+    Within,
+)
+from repro.service.service import ShardedMotionService
+
+#: The paper's §5 motion parameters, reused as bench defaults.
+DEFAULT_Y_MAX = 1000.0
+DEFAULT_V_MIN = 0.16
+DEFAULT_V_MAX = 1.66
+
+
+@dataclass
+class ServeBenchConfig:
+    """Parameters of one serve-bench run (all seeded/deterministic)."""
+
+    n: int = 2000
+    shards: int = 4
+    batches: int = 10
+    updates_per_batch: int = 100
+    queries_per_batch: int = 50
+    proximity_every: int = 5
+    method: str = "forest"
+    router: str = "hash"
+    workers: int = 0  # 0 -> executor default (shard count)
+    seed: int = 42
+    #: Clear buffer pools before each query phase (the paper's §5
+    #: pre-query protocol); keeps query avg_io honest instead of
+    #: measuring a warm cache.
+    cold_queries: bool = True
+
+
+@dataclass
+class ServeBenchReport:
+    """Results: wall-clock totals plus the service's own snapshot."""
+
+    config: ServeBenchConfig
+    elapsed_s: float
+    operations: int
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        return self.operations / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def operation_table(self) -> Table:
+        """Per-operation-class metrics (the service-wide view)."""
+        table = Table(
+            headers=["op", "calls", "p50_ms", "p99_ms", "avg_io", "errors"]
+        )
+        metrics = self.stats["metrics"]
+        for name in sorted(metrics["operations"]):
+            summary = metrics["operations"][name]
+            table.rows.append([
+                name,
+                summary["calls"],
+                summary["p50_ms"],
+                summary["p99_ms"],
+                summary["avg_io"],
+                summary["errors"],
+            ])
+        return table
+
+    def shard_table(self) -> Table:
+        """Per-shard load: population, ops served, I/O, space."""
+        table = Table(
+            headers=["shard", "objects", "ops", "reads", "writes",
+                     "pages", "io_per_op"]
+        )
+        per_shard_ops = self.stats["metrics"]["shards"]
+        for state in self.stats["shard_state"]:
+            shard = state["shard"]
+            ops = sum(
+                summary["calls"]
+                for summary in per_shard_ops.get(shard, {}).values()
+            )
+            io_total = state["io"]["reads"] + state["io"]["writes"]
+            table.rows.append([
+                shard,
+                state["objects"],
+                ops,
+                state["io"]["reads"],
+                state["io"]["writes"],
+                state["pages_in_use"],
+                round(io_total / ops, 2) if ops else 0.0,
+            ])
+        return table
+
+    def render(self) -> str:
+        lines = [
+            (
+                f"serve-bench: {self.operations} ops over "
+                f"{self.config.batches} batches, "
+                f"{self.config.shards} shards ({self.config.router} "
+                f"router), {self.config.n} objects"
+            ),
+            (
+                f"elapsed {self.elapsed_s:.3f}s — "
+                f"{self.throughput_ops_s:,.0f} ops/s"
+            ),
+            "",
+            self.operation_table().render("Per-operation metrics"),
+            "",
+            self.shard_table().render("Per-shard load"),
+        ]
+        return "\n".join(lines)
+
+
+def build_batch(
+    rng: random.Random,
+    config: ServeBenchConfig,
+    oids: List[int],
+    now: float,
+    include_proximity: bool,
+) -> Tuple[List[Operation], List[Operation]]:
+    """One epoch of traffic: reports plus a mixed query menu.
+
+    Returned as ``(updates, queries)`` so the runner can clear buffer
+    pools between the phases when ``cold_queries`` is set.
+    """
+    updates: List[Operation] = []
+    batch: List[Operation] = []
+    for _ in range(config.updates_per_batch):
+        oid = rng.choice(oids)
+        speed = rng.uniform(DEFAULT_V_MIN, DEFAULT_V_MAX)
+        direction = 1 if rng.random() < 0.5 else -1
+        updates.append(Report(
+            oid=oid,
+            y0=rng.uniform(0.0, DEFAULT_Y_MAX),
+            v=direction * speed,
+            t0=now + rng.uniform(0.0, 1.0),
+        ))
+    for q in range(config.queries_per_batch):
+        t1 = now + rng.uniform(1.0, 10.0)
+        kind = q % 3
+        if kind == 0:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.85)
+            batch.append(Within(y1, y1 + DEFAULT_Y_MAX * 0.1,
+                                t1, t1 + rng.uniform(1.0, 20.0)))
+        elif kind == 1:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.9)
+            batch.append(SnapshotAt(y1, y1 + DEFAULT_Y_MAX * 0.05, t1))
+        else:
+            batch.append(Nearest(rng.uniform(0.0, DEFAULT_Y_MAX), t1,
+                                 k=rng.randint(1, 8)))
+    if include_proximity:
+        batch.append(ProximityPairs(
+            d=DEFAULT_Y_MAX / 200.0, t1=now, t2=now + 5.0
+        ))
+    return updates, batch
+
+
+def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
+    """Run the full serve-bench workload, returning the report."""
+    if config.n < 1:
+        raise ValueError(f"need at least 1 object, got n={config.n}")
+    if config.batches < 0:
+        raise ValueError(f"batches must be >= 0, got {config.batches}")
+    rng = random.Random(config.seed)
+    service = ShardedMotionService(
+        DEFAULT_Y_MAX,
+        DEFAULT_V_MIN,
+        DEFAULT_V_MAX,
+        shards=config.shards,
+        method=config.method,
+        router=config.router,
+    )
+    oids = list(range(config.n))
+    operations = 0
+    start = time.perf_counter()
+    with BatchExecutor(
+        service, max_workers=config.workers or None
+    ) as executor:
+        # Initial population, loaded through the batch path too.
+        seed_batch: List[Operation] = []
+        for oid in oids:
+            speed = rng.uniform(DEFAULT_V_MIN, DEFAULT_V_MAX)
+            direction = 1 if rng.random() < 0.5 else -1
+            seed_batch.append(Register(
+                oid=oid,
+                y0=rng.uniform(0.0, DEFAULT_Y_MAX),
+                v=direction * speed,
+                t0=0.0,
+            ))
+        for result in executor.run(seed_batch):
+            if not result.ok:
+                raise result.error
+        operations += len(seed_batch)
+
+        now = 0.0
+        for epoch in range(config.batches):
+            now += 1.0
+            include_proximity = (
+                config.proximity_every > 0
+                and epoch % config.proximity_every == 0
+            )
+            updates, queries = build_batch(
+                rng, config, oids, now, include_proximity
+            )
+            for result in executor.run(updates):
+                if not result.ok:
+                    raise result.error
+            if config.cold_queries:
+                service.clear_buffers()
+            for result in executor.run(queries):
+                if not result.ok:
+                    raise result.error
+            operations += len(updates) + len(queries)
+    elapsed = time.perf_counter() - start
+    return ServeBenchReport(
+        config=config,
+        elapsed_s=elapsed,
+        operations=operations,
+        stats=service.service_stats(),
+    )

@@ -1,0 +1,245 @@
+"""Per-operation metrics for the sharded query service.
+
+The paper's experimental currency is *page I/Os per operation*; a
+service that multiplexes many users needs the same number **per
+operation class and per shard**, plus wall-clock latency and
+throughput.  :class:`MetricsRegistry` is the single sink: every public
+operation of :class:`~repro.service.service.ShardedMotionService` runs
+inside a :meth:`MetricsRegistry.span`, which times the call and books
+the I/O delta the operation produced on each shard it touched.
+
+Counters and histograms are deliberately simple (exact samples, one
+registry lock) — workloads here are simulator-scale, and exactness
+keeps the differential tests byte-stable.  The snapshot format is a
+plain nested dict (see :meth:`MetricsRegistry.snapshot`) so it can be
+printed, JSON-dumped, or diffed without this module in scope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.io_sim.stats import IOSnapshot, IOStats
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Exact-sample histogram with percentile queries.
+
+    Samples are kept verbatim (no bucketing) so ``p50``/``p99`` are
+    exact; the service workloads stay well under the point where a
+    reservoir would be needed.
+    """
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank), 0 for no samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = max(1, round(p / 100.0 * len(ordered)))
+            return ordered[min(rank, len(ordered)) - 1]
+
+
+class OperationMetrics:
+    """Count, latency histogram and I/O histogram for one operation."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.calls = Counter(lock)
+        self.errors = Counter(lock)
+        self.latency_ms = Histogram(lock)
+        self.io_per_op = Histogram(lock)
+        self.reads = Counter(lock)
+        self.writes = Counter(lock)
+        self.buffer_hits = Counter(lock)
+
+    def record(self, latency_s: float, io: IOSnapshot) -> None:
+        self.calls.increment()
+        self.latency_ms.record(latency_s * 1000.0)
+        self.io_per_op.record(float(io.total))
+        self.reads.increment(io.reads)
+        self.writes.increment(io.writes)
+        self.buffer_hits.increment(io.buffer_hits)
+
+    def summary(self) -> Dict[str, float]:
+        calls = self.calls.value
+        return {
+            "calls": calls,
+            "errors": self.errors.value,
+            "p50_ms": round(self.latency_ms.percentile(50.0), 4),
+            "p99_ms": round(self.latency_ms.percentile(99.0), 4),
+            "avg_io": round(self.io_per_op.mean, 3),
+            "reads": self.reads.value,
+            "writes": self.writes.value,
+            "buffer_hits": self.buffer_hits.value,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of per-operation and per-shard metrics.
+
+    Two keyings are maintained in parallel:
+
+    * by operation name (``"within"``, ``"report"``, ...) — the
+      service-wide view;
+    * by ``(shard, operation)`` — the per-shard view, fed with each
+      shard's own I/O delta so hot shards are visible.
+
+    The registry also owns a *live* :class:`IOStats` aggregate that
+    indexes mirror page touches into via
+    :meth:`~repro.indexes.base.MobileIndex1D.attach_io_listener`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ops: Dict[str, OperationMetrics] = {}
+        self._shard_ops: Dict[Tuple[int, str], OperationMetrics] = {}
+        self.live_io = IOStats()
+        self._started = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def operation(self, name: str) -> OperationMetrics:
+        with self._lock:
+            metrics = self._ops.get(name)
+            if metrics is None:
+                metrics = self._ops[name] = OperationMetrics(self._lock)
+        return metrics
+
+    def shard_operation(self, shard: int, name: str) -> OperationMetrics:
+        with self._lock:
+            metrics = self._shard_ops.get((shard, name))
+            if metrics is None:
+                metrics = OperationMetrics(self._lock)
+                self._shard_ops[(shard, name)] = metrics
+        return metrics
+
+    def record_shard_io(self, shard: int, name: str, io: IOSnapshot) -> None:
+        """Book one shard's share of an operation (zero latency)."""
+        self.shard_operation(shard, name).record(0.0, io)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator["Span"]:
+        """Time one operation; the caller adds per-shard I/O deltas."""
+        span = Span(self, name)
+        start = time.perf_counter()
+        try:
+            yield span
+        except Exception:
+            self.operation(name).errors.increment()
+            raise
+        finally:
+            span.close(time.perf_counter() - start)
+
+    # -- reporting ------------------------------------------------------------
+
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._started
+
+    def snapshot(self) -> Dict[str, object]:
+        """The metrics snapshot: plain dicts, ready to print or dump.
+
+        Layout::
+
+            {
+              "uptime_s": 1.23,
+              "live_io": {"reads": R, "writes": W, "buffer_hits": H},
+              "operations": {op: {calls, errors, p50_ms, p99_ms,
+                                  avg_io, reads, writes, buffer_hits}},
+              "shards": {shard_id: {op: {...same keys...}}},
+            }
+        """
+        with self._lock:
+            ops_view = dict(self._ops)
+            shard_ops_view = dict(self._shard_ops)
+        operations = {
+            name: metrics.summary() for name, metrics in ops_view.items()
+        }
+        shards: Dict[int, Dict[str, Dict[str, float]]] = {}
+        for (shard, name), metrics in shard_ops_view.items():
+            shards.setdefault(shard, {})[name] = metrics.summary()
+        return {
+            "uptime_s": round(self.uptime_s(), 6),
+            "live_io": {
+                "reads": self.live_io.reads,
+                "writes": self.live_io.writes,
+                "buffer_hits": self.live_io.buffer_hits,
+            },
+            "operations": operations,
+            "shards": shards,
+        }
+
+
+class Span:
+    """One in-flight operation: accumulates per-shard I/O deltas."""
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self._io = IOSnapshot()
+        self._closed = False
+
+    def add_shard_io(self, shard: int, io: IOSnapshot) -> None:
+        """Attribute ``io`` to ``shard`` and to the operation total.
+
+        Negative deltas (a shard rebuilt a disk mid-operation, zeroing
+        its counters) are clamped to zero rather than corrupting the
+        histograms.
+        """
+        io = IOSnapshot(
+            reads=max(0, io.reads),
+            writes=max(0, io.writes),
+            buffer_hits=max(0, io.buffer_hits),
+        )
+        self._io = self._io + io
+        self._registry.record_shard_io(shard, self.name, io)
+
+    def close(self, latency_s: float) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._registry.operation(self.name).record(latency_s, self._io)

@@ -1,0 +1,411 @@
+"""A sharded, concurrent query service over :class:`MotionDatabase`.
+
+One :class:`~repro.engine.MotionDatabase` serves one caller at a time.
+:class:`ShardedMotionService` is the scaling layer the ROADMAP asks
+for: the object population is partitioned across ``k`` independent
+shards (each a full ``MotionDatabase`` with its own disks and
+buffers), updates route to the owning shard under a per-shard lock,
+and queries fan out and merge:
+
+* ``within`` / ``snapshot_at`` / ``query_past`` — per-shard answers
+  are disjoint (an object lives on exactly one shard), so the merge is
+  a set union;
+* ``nearest`` — each shard reports its own exact top-``k``; the
+  candidates are re-ranked globally by ``(distance, oid)`` and cut to
+  ``k``.  Ties at equal distance break toward the smaller object id,
+  matching :func:`repro.extensions.neighbors.knn_at`;
+* ``proximity_pairs`` — within-shard pairs come from each shard's own
+  self-join; cross-shard pairs come from candidate exchange: shard
+  ``i`` ships its population as the outer relation of a directed
+  distance join against every shard ``j > i``
+  (:meth:`MotionDatabase.join_against`), so every unordered pair is
+  examined exactly once.
+
+Concurrency model: a *catalog* lock guards the oid→shard ownership map
+and is only ever taken innermost; each shard has a reentrant lock
+taken in ascending shard order when an operation needs more than one
+(motion-sensitive routing can migrate an object between shards on
+update).  Queries lock one shard at a time, so readers of different
+shards proceed in parallel with writers of others.  The paper's
+time-moves-forward discipline holds per shard: each shard's ``now``
+only advances.
+
+Every public operation runs inside a metrics span; see
+:meth:`service_stats` for the snapshot format.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.model import LinearMotion1D, MotionModel
+from repro.engine import MotionDatabase
+from repro.errors import InvalidMotionError, ObjectNotFoundError
+from repro.indexes.base import MobileIndex1D
+from repro.io_sim.stats import combine_snapshots
+from repro.service.metrics import MetricsRegistry
+from repro.service.sharding import HashRouter, ShardRouter, VelocityRouter
+
+#: Router factories selectable by name (``router="velocity"``).
+ROUTER_FACTORIES: Dict[str, Callable[[int, float], ShardRouter]] = {
+    "hash": lambda shards, v_max: HashRouter(shards),
+    "velocity": lambda shards, v_max: VelocityRouter(shards, v_max),
+}
+
+
+class ShardedMotionService:
+    """Hash- (or velocity-) partitioned motion database service.
+
+    Parameters mirror :class:`MotionDatabase`, plus:
+
+    shards:
+        Number of independent shards (``k >= 1``).
+    router:
+        ``"hash"`` (default), ``"velocity"``, or a
+        :class:`ShardRouter` instance.
+    metrics:
+        An existing :class:`MetricsRegistry` to record into; a fresh
+        one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        y_max: float,
+        v_min: float,
+        v_max: float,
+        shards: int = 4,
+        method: str = "forest",
+        index_factory: Optional[
+            Callable[[MotionModel], MobileIndex1D]
+        ] = None,
+        keep_history: bool = False,
+        router: str | ShardRouter = "hash",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        if isinstance(router, ShardRouter):
+            if router.shards != shards:
+                raise ValueError(
+                    f"router expects {router.shards} shards, service has "
+                    f"{shards}"
+                )
+            self.router = router
+        else:
+            factory = ROUTER_FACTORIES.get(router)
+            if factory is None:
+                raise ValueError(
+                    f"unknown router {router!r}; pick from "
+                    f"{sorted(ROUTER_FACTORIES)} or pass a ShardRouter"
+                )
+            self.router = factory(shards, v_max)
+        self.metrics = metrics or MetricsRegistry()
+        self._shards: List[MotionDatabase] = [
+            MotionDatabase(
+                y_max,
+                v_min,
+                v_max,
+                method=method,
+                index_factory=index_factory,
+                keep_history=keep_history,
+            )
+            for _ in range(shards)
+        ]
+        for shard in self._shards:
+            shard.attach_io_listener(self.metrics.live_io)
+        self._locks = [threading.RLock() for _ in range(shards)]
+        self._catalog_lock = threading.RLock()
+        self._owner: Dict[int, int] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        with self._catalog_lock:
+            return len(self._owner)
+
+    def __contains__(self, oid: int) -> bool:
+        with self._catalog_lock:
+            return oid in self._owner
+
+    def shard_of(self, oid: int) -> int:
+        """The shard currently owning ``oid``."""
+        with self._catalog_lock:
+            shard = self._owner.get(oid)
+        if shard is None:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        return shard
+
+    def shard_populations(self) -> List[Set[int]]:
+        """Per-shard resident oid sets (each shard locked in turn)."""
+        populations = []
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                populations.append({obj.oid for obj in shard.objects()})
+        return populations
+
+    @property
+    def now(self) -> float:
+        """Latest update timestamp across all shards."""
+        return max((shard.now for shard in self._shards), default=0.0)
+
+    def shard_now(self) -> List[float]:
+        """Each shard's own update clock (monotone per shard)."""
+        return [shard.now for shard in self._shards]
+
+    # -- updates ----------------------------------------------------------------
+
+    def register(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Add a new object; routes to its shard, rejects duplicates."""
+        with self.metrics.span("register") as span:
+            motion = LinearMotion1D(y0, v, t0)
+            target = self.router.route(oid, motion)
+            with self._catalog_lock:
+                if oid in self._owner:
+                    raise InvalidMotionError(
+                        f"object {oid} is already registered; use report()"
+                    )
+                # Reserve ownership so a concurrent duplicate register
+                # fails fast; rolled back if the shard rejects the motion.
+                self._owner[oid] = target
+            try:
+                with self._locks[target]:
+                    before = self._shards[target].io_snapshot()
+                    self._shards[target].register(oid, y0, v, t0)
+                    span.add_shard_io(
+                        target, self._shards[target].io_delta_since(before)
+                    )
+            except Exception:
+                with self._catalog_lock:
+                    self._owner.pop(oid, None)
+                raise
+
+    def report(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Process a motion update, migrating shards when routing says so.
+
+        Ownership can only change while *both* involved shard locks are
+        held, so holding the current owner's lock and re-checking the
+        catalog gives a stable claim; a lost race (another update moved
+        the object first) simply retries with the fresh owner.
+        """
+        with self.metrics.span("report") as span:
+            motion = LinearMotion1D(y0, v, t0)
+            while True:
+                with self._catalog_lock:
+                    current = self._owner.get(oid)
+                if current is None:
+                    raise ObjectNotFoundError(
+                        f"object {oid} is not registered"
+                    )
+                target = (
+                    self.router.route(oid, motion)
+                    if self.router.motion_sensitive
+                    else current
+                )
+                held = sorted({current, target})
+                for shard in held:
+                    self._locks[shard].acquire()
+                try:
+                    with self._catalog_lock:
+                        if self._owner.get(oid) != current:
+                            continue  # lost the race; retry with new owner
+                    if target == current:
+                        before = self._shards[current].io_snapshot()
+                        self._shards[current].report(oid, y0, v, t0)
+                        span.add_shard_io(
+                            current,
+                            self._shards[current].io_delta_since(before),
+                        )
+                    else:
+                        before_src = self._shards[current].io_snapshot()
+                        self._shards[current].deregister(oid)
+                        span.add_shard_io(
+                            current,
+                            self._shards[current].io_delta_since(before_src),
+                        )
+                        before_dst = self._shards[target].io_snapshot()
+                        self._shards[target].register(oid, y0, v, t0)
+                        span.add_shard_io(
+                            target,
+                            self._shards[target].io_delta_since(before_dst),
+                        )
+                        with self._catalog_lock:
+                            self._owner[oid] = target
+                    return
+                finally:
+                    for shard in reversed(held):
+                        self._locks[shard].release()
+
+    def deregister(self, oid: int) -> None:
+        """Remove an object from its shard."""
+        with self.metrics.span("deregister") as span:
+            with self._catalog_lock:
+                shard = self._owner.get(oid)
+            if shard is None:
+                raise ObjectNotFoundError(f"object {oid} is not registered")
+            with self._locks[shard]:
+                before = self._shards[shard].io_snapshot()
+                self._shards[shard].deregister(oid)
+                span.add_shard_io(
+                    shard, self._shards[shard].io_delta_since(before)
+                )
+                with self._catalog_lock:
+                    del self._owner[oid]
+
+    def location_of(self, oid: int, t: float) -> float:
+        """Extrapolated location of one object at time ``t``."""
+        shard = self.shard_of(oid)
+        with self._locks[shard]:
+            return self._shards[shard].location_of(oid, t)
+
+    # -- queries ----------------------------------------------------------------
+
+    def within(
+        self, y1: float, y2: float, t1: float, t2: float
+    ) -> Set[int]:
+        """MOR query, fanned out; per-shard answers union (disjoint)."""
+        with self.metrics.span("within") as span:
+            result: Set[int] = set()
+            for i, shard in enumerate(self._shards):
+                with self._locks[i]:
+                    before = shard.io_snapshot()
+                    result |= shard.within(y1, y2, t1, t2)
+                    span.add_shard_io(i, shard.io_delta_since(before))
+            return result
+
+    def snapshot_at(self, y1: float, y2: float, t: float) -> Set[int]:
+        """Instant query, fanned out and unioned."""
+        with self.metrics.span("snapshot_at") as span:
+            result: Set[int] = set()
+            for i, shard in enumerate(self._shards):
+                with self._locks[i]:
+                    before = shard.io_snapshot()
+                    result |= shard.snapshot_at(y1, y2, t)
+                    span.add_shard_io(i, shard.io_delta_since(before))
+            return result
+
+    def nearest(
+        self, y: float, t: float, k: int = 1
+    ) -> List[Tuple[int, float]]:
+        """Global ``k``-NN: per-shard exact top-``k``, then re-rank.
+
+        Tie-break: equal distances order by ascending object id — the
+        same total order :func:`repro.extensions.neighbors.knn_at`
+        uses, so results are byte-identical to a single database.
+        """
+        with self.metrics.span("nearest") as span:
+            candidates: List[Tuple[int, float]] = []
+            for i, shard in enumerate(self._shards):
+                with self._locks[i]:
+                    before = shard.io_snapshot()
+                    candidates.extend(shard.nearest(y, t, k))
+                    span.add_shard_io(i, shard.io_delta_since(before))
+            candidates.sort(key=lambda pair: (pair[1], pair[0]))
+            return candidates[:k]
+
+    def proximity_pairs(
+        self, d: float, t1: float, t2: float
+    ) -> Set[Tuple[int, int]]:
+        """All unordered pairs coming within ``d`` during the window.
+
+        Locks every shard (ascending) for the duration: the join must
+        see one consistent population across shards.  Within-shard
+        pairs come from each shard's self-join; cross-shard pairs from
+        directed candidate exchange between each shard pair, visited
+        once (``i < j``).
+        """
+        with self.metrics.span("proximity_pairs") as span:
+            for lock in self._locks:
+                lock.acquire()
+            try:
+                pairs: Set[Tuple[int, int]] = set()
+                for i, shard in enumerate(self._shards):
+                    before = shard.io_snapshot()
+                    pairs |= shard.proximity_pairs(d, t1, t2)
+                    outer = shard.objects()
+                    span.add_shard_io(i, shard.io_delta_since(before))
+                    for j in range(i + 1, len(self._shards)):
+                        inner = self._shards[j]
+                        before_j = inner.io_snapshot()
+                        directed = inner.join_against(outer, d, t1, t2)
+                        span.add_shard_io(
+                            j, inner.io_delta_since(before_j)
+                        )
+                        pairs |= {
+                            (min(a, b), max(a, b)) for a, b in directed
+                        }
+                return pairs
+            finally:
+                for lock in reversed(self._locks):
+                    lock.release()
+
+    def query_past(
+        self, y1: float, y2: float, t1: float, t2: float
+    ) -> Set[int]:
+        """Historical MOR query (requires ``keep_history=True``)."""
+        with self.metrics.span("query_past") as span:
+            result: Set[int] = set()
+            for i, shard in enumerate(self._shards):
+                with self._locks[i]:
+                    before = shard.io_snapshot()
+                    result |= shard.query_past(y1, y2, t1, t2)
+                    span.add_shard_io(i, shard.io_delta_since(before))
+            return result
+
+    # -- accounting -------------------------------------------------------------
+
+    def clear_buffers(self) -> None:
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                shard.clear_buffers()
+
+    def service_stats(self) -> Dict[str, object]:
+        """One self-describing snapshot of the whole service.
+
+        Layout::
+
+            {
+              "shards": k,
+              "router": "hash" | "velocity" | <class name>,
+              "objects": total population,
+              "now": latest update clock,
+              "metrics": MetricsRegistry.snapshot(),   # ops + per-shard
+              "shard_state": [
+                {"shard": i, "objects": n, "now": t,
+                 "pages_in_use": p,
+                 "io": {"reads": R, "writes": W, "buffer_hits": H}},
+                ...
+              ],
+            }
+        """
+        shard_state = []
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                totals = combine_snapshots(shard.io_snapshot())
+                shard_state.append(
+                    {
+                        "shard": i,
+                        "objects": len(shard),
+                        "now": shard.now,
+                        "pages_in_use": shard.pages_in_use,
+                        "io": {
+                            "reads": totals.reads,
+                            "writes": totals.writes,
+                            "buffer_hits": totals.buffer_hits,
+                        },
+                    }
+                )
+        return {
+            "shards": self.shard_count,
+            "router": getattr(
+                self.router, "name", type(self.router).__name__
+            ),
+            "objects": len(self),
+            "now": self.now,
+            "metrics": self.metrics.snapshot(),
+            "shard_state": shard_state,
+        }

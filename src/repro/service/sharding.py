@@ -1,0 +1,97 @@
+"""Shard-routing policies for the sharded motion service.
+
+The scaling move for moving-object indexes (MOIST; distributed
+continuous-range-query processing) is to partition the object
+population across ``k`` independent single-node indexes and fan
+queries out.  Which objects land together is the routing policy:
+
+* :class:`HashRouter` — stable hash partitioning by object id.  Every
+  shard sees the same motion mix, load balances statistically, and an
+  object never migrates (its id never changes), so updates stay
+  single-shard.
+* :class:`VelocityRouter` — partition by speed band, the
+  velocity/speed-partitioning idea: each shard's population has a
+  narrow ``[v_lo, v_hi]``, which tightens that shard's dual-transform
+  bounding regions (the paper's §3.5 rectangles shrink with the speed
+  band).  The routed shard depends on the *motion*, so a speed-change
+  update can migrate the object between shards; the service handles
+  that with ordered two-shard locking.
+
+Routers are deterministic pure functions — the differential test
+harness relies on replaying the same route decisions across runs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.model import LinearMotion1D
+
+#: Knuth's multiplicative-hash constant (2^32 / phi), for id mixing.
+_FIB_MIX = 2654435761
+_MASK_32 = 0xFFFFFFFF
+
+
+def mix_oid(oid: int) -> int:
+    """Deterministic 32-bit mix of an object id.
+
+    Plain ``oid % k`` clusters consecutive ids onto the same shard for
+    small strides; Fibonacci mixing spreads them.  Python's ``hash`` is
+    identity on small ints, so it is mixed explicitly here.
+    """
+    x = (oid * _FIB_MIX) & _MASK_32
+    x ^= x >> 16
+    return x
+
+
+class ShardRouter(abc.ABC):
+    """Maps an object (id + motion) to one of ``k`` shards."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        self.shards = shards
+
+    @abc.abstractmethod
+    def route(self, oid: int, motion: LinearMotion1D) -> int:
+        """The shard (``0 <= shard < shards``) that owns this object."""
+
+    @property
+    def motion_sensitive(self) -> bool:
+        """True when an update can change the routed shard."""
+        return False
+
+
+class HashRouter(ShardRouter):
+    """Stable hash partitioning by object id (the default policy)."""
+
+    name = "hash"
+
+    def route(self, oid: int, motion: LinearMotion1D) -> int:
+        return mix_oid(oid) % self.shards
+
+
+class VelocityRouter(ShardRouter):
+    """Partition by speed band: shard ``i`` owns ``|v|`` in band ``i``.
+
+    Bands split ``[0, v_max]`` evenly.  Speeds at or below ``v_max``
+    of band ``i``'s upper edge route to band ``i``; anything faster
+    than ``v_max`` (rejected later by the model check anyway) clamps
+    to the last band.
+    """
+
+    name = "velocity"
+
+    def __init__(self, shards: int, v_max: float) -> None:
+        super().__init__(shards)
+        if v_max <= 0:
+            raise ValueError(f"v_max must be positive, got {v_max}")
+        self.v_max = v_max
+
+    def route(self, oid: int, motion: LinearMotion1D) -> int:
+        band = int(abs(motion.v) / self.v_max * self.shards)
+        return min(band, self.shards - 1)
+
+    @property
+    def motion_sensitive(self) -> bool:
+        return True

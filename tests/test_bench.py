@@ -117,3 +117,48 @@ class TestChart:
     def test_render_chart_empty(self):
         table = Table(headers=["N", "a"])
         assert table.render_chart() == ""
+
+    def test_render_chart_non_numeric_cells(self):
+        """Regression: non-numeric cells used to raise ValueError;
+        they now render without a bar while numeric cells still chart."""
+        table = Table(headers=["N", "io", "note"])
+        table.rows = [[100, 10.0, "n/a"], [200, 40.0, None]]
+        chart = table.render_chart("Mixed", width=40)
+        lines = chart.splitlines()
+        assert lines[0] == "Mixed"
+        bars = {
+            line.split("|")[0].strip(): line.split("|", 1)[1]
+            for line in lines[1:]
+            if "|" in line
+        }
+        assert bars["200 io"].count("#") == 40  # numeric max still scales
+        assert bars["100 note"].strip() == "n/a"  # verbatim, no bar
+        assert bars["200 note"].strip() == "None"
+        assert "#" not in bars["100 note"] and "#" not in bars["200 note"]
+
+    def test_render_chart_nan_and_inf_skipped(self):
+        table = Table(headers=["N", "a"])
+        table.rows = [[1, float("nan")], [2, float("inf")], [3, 5.0]]
+        chart = table.render_chart(width=10)
+        bars = {
+            line.split("|")[0].strip(): line.split("|", 1)[1]
+            for line in chart.splitlines()
+            if "|" in line
+        }
+        assert bars["3 a"].count("#") == 10  # 5.0 is the only scalable max
+        assert "#" not in bars["1 a"] and "#" not in bars["2 a"]
+
+    def test_csv_roundtrip_with_mixed_cells(self, tmp_path):
+        """to_csv must survive the same non-numeric cells the chart
+        does, and parse back to the original strings."""
+        import csv
+
+        table = Table(headers=["N", "io", "note"])
+        table.rows = [[100, 10.5, "n/a"], [200, 40.0, "slow, but ok"]]
+        path = tmp_path / "mixed.csv"
+        table.save_csv(str(path))
+        with open(path, newline="") as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == ["N", "io", "note"]
+        assert parsed[1] == ["100", "10.5", "n/a"]
+        assert parsed[2] == ["200", "40.0", "slow, but ok"]  # comma quoted

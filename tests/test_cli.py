@@ -23,6 +23,23 @@ class TestParser:
         assert args.sizes == [100, 200]
         assert args.c == [2]
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.n == 2000
+        assert args.shards == 4
+        assert args.router == "hash"
+        assert args.workers == 0
+
+    def test_serve_bench_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--router", "psychic"])
+
+    def test_serve_bench_rejects_bad_sizes(self, capsys):
+        assert main(["serve-bench", "--n", "0"]) == 2
+        assert "need at least 1 object" in capsys.readouterr().err
+        assert main(["serve-bench", "--shards", "0"]) == 2
+        assert "need at least 1 shard" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -42,6 +59,20 @@ class TestCommands:
         assert main(["mor1", "--sizes", "100", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "Theorem 2" in out
+
+    def test_serve_bench_smoke(self, capsys):
+        code = main([
+            "serve-bench",
+            "--n", "80", "--shards", "2", "--batches", "2",
+            "--updates", "8", "--queries", "6",
+            "--proximity-every", "2", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out
+        for column in ("p50_ms", "p99_ms", "avg_io", "io_per_op"):
+            assert column in out
+        assert "Per-shard load" in out
 
     def test_figures_tiny(self, capsys, tmp_path):
         csv_dir = tmp_path / "csv"

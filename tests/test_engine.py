@@ -46,6 +46,35 @@ class TestLifecycle:
         with pytest.raises(ValueError):
             MotionDatabase(1000.0, 0.16, 1.66, method="btree-of-doom")
 
+    def test_duplicate_register_rejected(self):
+        """Regression: re-registering an oid must fail cleanly at the
+        facade (InvalidMotionError), not leak index internals or leave
+        partial state behind."""
+        db = MotionDatabase(1000.0, 0.16, 1.66)
+        db.register(1, 100.0, 1.0, 0.0)
+        with pytest.raises(InvalidMotionError):
+            db.register(1, 200.0, -1.0, 5.0)
+        # Original motion untouched; exactly one copy indexed.
+        assert len(db) == 1
+        assert db.location_of(1, 10.0) == 110.0
+        assert db.snapshot_at(0.0, 1000.0, 10.0) == {1}
+        # report() is the way to supersede a motion.
+        db.report(1, 200.0, -1.0, 5.0)
+        assert db.location_of(1, 10.0) == 195.0
+
+    def test_duplicate_register_with_history_keeps_clock(self):
+        """With history enabled the failed register must not advance
+        the archive clock (previously the duplicate reached the index
+        after the clock moved)."""
+        db = MotionDatabase(1000.0, 0.16, 1.66, keep_history=True)
+        db.register(1, 100.0, 1.0, 0.0)
+        with pytest.raises(InvalidMotionError):
+            db.register(1, 300.0, 1.0, 50.0)
+        # An update at an earlier time must still be accepted: the
+        # rejected register left no trace in the time discipline.
+        db.report(1, 120.0, 1.0, 20.0)
+        assert db.query_past(100.0, 121.0, 0.0, 20.0) == {1}
+
     def test_slow_objects_accepted(self):
         db = MotionDatabase(1000.0, 0.16, 1.66)
         db.register(1, 500.0, 0.0, 0.0)  # parked car

@@ -1,0 +1,173 @@
+"""Units for the metrics registry, shard routers and serve-bench."""
+
+import threading
+
+import pytest
+
+from repro.io_sim.stats import IOSnapshot, IOStats, combine_snapshots
+from repro.service import (
+    HashRouter,
+    MetricsRegistry,
+    ServeBenchConfig,
+    VelocityRouter,
+    mix_oid,
+    run_serve_bench,
+)
+from repro.core.model import LinearMotion1D
+
+
+class TestHistogram:
+    def test_percentiles_exact(self):
+        registry = MetricsRegistry()
+        metrics = registry.operation("op")
+        for value in range(1, 101):
+            metrics.latency_ms.record(float(value))
+        assert metrics.latency_ms.percentile(50.0) == 50.0
+        assert metrics.latency_ms.percentile(99.0) == 99.0
+        assert metrics.latency_ms.percentile(100.0) == 100.0
+
+    def test_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        histogram = registry.operation("op").latency_ms
+        assert histogram.percentile(50.0) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_bad_percentile_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.operation("op").latency_ms.percentile(101.0)
+
+
+class TestRegistry:
+    def test_span_records_latency_io_and_errors(self):
+        registry = MetricsRegistry()
+        with registry.span("query") as span:
+            span.add_shard_io(0, IOSnapshot(reads=3, writes=1))
+            span.add_shard_io(2, IOSnapshot(reads=2))
+        with pytest.raises(RuntimeError):
+            with registry.span("query"):
+                raise RuntimeError("boom")
+        snapshot = registry.snapshot()
+        query = snapshot["operations"]["query"]
+        assert query["calls"] == 2
+        assert query["errors"] == 1
+        assert query["reads"] == 5
+        assert query["writes"] == 1
+        assert query["p99_ms"] >= query["p50_ms"] >= 0.0
+        assert set(snapshot["shards"]) == {0, 2}
+        assert snapshot["shards"][0]["query"]["reads"] == 3
+
+    def test_negative_deltas_clamped(self):
+        registry = MetricsRegistry()
+        with registry.span("op") as span:
+            span.add_shard_io(0, IOSnapshot(reads=-5, writes=2))
+        summary = registry.snapshot()["operations"]["op"]
+        assert summary["reads"] == 0
+        assert summary["writes"] == 2
+
+    def test_concurrent_spans_count_exactly(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(200):
+                with registry.span("op") as span:
+                    span.add_shard_io(0, IOSnapshot(reads=1))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        summary = registry.snapshot()["operations"]["op"]
+        assert summary["calls"] == 800
+        assert summary["reads"] == 800
+
+
+class TestIOStatsListener:
+    def test_listener_mirrors_every_touch(self):
+        aggregate = IOStats()
+        stats = IOStats(listener=aggregate)
+        stats.record_read()
+        stats.record_write()
+        stats.record_buffer_hit()
+        stats.record_read()
+        assert (aggregate.reads, aggregate.writes, aggregate.buffer_hits) == (
+            2, 1, 1,
+        )
+        stats.set_listener(None)
+        stats.record_read()
+        assert aggregate.reads == 2
+
+    def test_combine_snapshots(self):
+        total = combine_snapshots(
+            [IOSnapshot(1, 2, 3), IOSnapshot(10, 20, 30)]
+        )
+        assert (total.reads, total.writes, total.buffer_hits) == (11, 22, 33)
+        assert total.total == 33
+
+
+class TestRouters:
+    def test_hash_router_spreads_consecutive_ids(self):
+        router = HashRouter(4)
+        motion = LinearMotion1D(0.0, 1.0, 0.0)
+        buckets = {router.route(oid, motion) for oid in range(16)}
+        assert len(buckets) == 4  # not all on one shard
+
+    def test_hash_router_deterministic(self):
+        assert mix_oid(12345) == mix_oid(12345)
+        router = HashRouter(7)
+        motion = LinearMotion1D(0.0, 1.0, 0.0)
+        assert [router.route(i, motion) for i in range(50)] == [
+            router.route(i, motion) for i in range(50)
+        ]
+
+    def test_velocity_router_bands(self):
+        router = VelocityRouter(4, v_max=2.0)
+        assert router.route(1, LinearMotion1D(0.0, 0.1, 0.0)) == 0
+        assert router.route(1, LinearMotion1D(0.0, -0.1, 0.0)) == 0
+        assert router.route(1, LinearMotion1D(0.0, 1.99, 0.0)) == 3
+        assert router.route(1, LinearMotion1D(0.0, 99.0, 0.0)) == 3  # clamp
+        assert router.motion_sensitive
+
+    def test_router_validation(self):
+        with pytest.raises(ValueError):
+            HashRouter(0)
+        with pytest.raises(ValueError):
+            VelocityRouter(2, v_max=0.0)
+
+
+class TestServeBench:
+    def test_tiny_run_reports_all_metrics(self):
+        config = ServeBenchConfig(
+            n=60, shards=3, batches=2, updates_per_batch=10,
+            queries_per_batch=6, proximity_every=2, seed=13,
+        )
+        report = run_serve_bench(config)
+        assert report.operations == 60 + 2 * (10 + 6) + 1
+        assert report.throughput_ops_s > 0
+        rendered = report.render()
+        assert "ops/s" in rendered
+        assert "p50_ms" in rendered and "p99_ms" in rendered
+        assert "avg_io" in rendered
+        op_table = report.operation_table()
+        assert "register" in op_table.column("op")
+        shard_table = report.shard_table()
+        assert shard_table.column("shard") == [0, 1, 2]
+        assert sum(shard_table.column("objects")) == 60
+
+    def test_runs_are_seeded(self):
+        config = ServeBenchConfig(
+            n=40, shards=2, batches=1, updates_per_batch=5,
+            queries_per_batch=3, proximity_every=0, seed=7,
+        )
+        a = run_serve_bench(config)
+        b = run_serve_bench(config)
+        # Same traffic: identical op counts and I/O totals (latency
+        # differs, wall clock is real).
+        ops_a = a.stats["metrics"]["operations"]
+        ops_b = b.stats["metrics"]["operations"]
+        assert set(ops_a) == set(ops_b)
+        for name in ops_a:
+            assert ops_a[name]["calls"] == ops_b[name]["calls"]
+            assert ops_a[name]["reads"] == ops_b[name]["reads"]
+            assert ops_a[name]["writes"] == ops_b[name]["writes"]
