@@ -1,11 +1,17 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install test service-smoke service-tests bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke service-tests chaos-tests bench figures examples results clean
 
 install:
 	python setup.py develop
 
-test: service-smoke
+# Fast sanity gate: everything must at least compile.
+check:
+	python -m compileall -q src
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -c "import repro, repro.service"
+
+test: check service-smoke
 	pytest tests/
 
 # Tiny end-to-end run of the sharded service: catches wiring breakage
@@ -15,12 +21,28 @@ service-smoke:
 		python -m repro serve-bench --n 200 --shards 3 --batches 2 \
 		--updates 20 --queries 10 --seed 1
 
+# Seeded chaos run: injected faults + replication 2 + differential
+# verification against a faultless single database.  Exit code 3 on
+# any lost update or mismatching answer.
+chaos-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --n 240 --shards 3 --batches 3 \
+		--updates 24 --queries 12 --seed 7 \
+		--faults --replication 2 --verify
+
 # The service differential + concurrency + metrics suites alone.
 service-tests:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest tests/test_service_differential.py \
 		tests/test_service_concurrency.py \
 		tests/test_service_metrics.py
+
+# The fault-injection / recovery suites (chaos differential, WAL
+# crash-at-every-point, injector/breaker/retry units).
+chaos-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/test_replication.py tests/test_wal_recovery.py \
+		tests/test_faults.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -157,6 +157,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         router=args.router,
         workers=args.workers,
         seed=args.seed,
+        replication=args.replication,
+        faults=args.faults,
+        verify=args.verify,
     )
     try:
         report = run_serve_bench(config)
@@ -164,6 +167,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"serve-bench: {error}", file=sys.stderr)
         return 2
     print(report.render())
+    if report.verification is not None and (
+        report.verification["mismatches"] > 0
+        or report.verification["lost_objects"] > 0
+    ):
+        print(
+            "serve-bench: verification FAILED (lost updates or "
+            f"mismatching answers): {report.verification}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -227,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=0,
                        help="thread-pool width (0 = one per shard)")
     serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--replication", type=int, default=1,
+                       help="copies per object (> 1 enables the "
+                            "fault-tolerant service)")
+    serve.add_argument("--faults", action="store_true",
+                       help="inject seeded faults: transient errors, "
+                            "latency spikes, one victim-shard crash")
+    serve.add_argument("--verify", action="store_true",
+                       help="end with a differential check against a "
+                            "faultless single database (exit 3 on "
+                            "lost updates)")
     serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")

@@ -142,6 +142,42 @@ class MotionDatabase:
             raise ObjectNotFoundError(f"object {oid} is not registered")
         return motion.position(t)
 
+    def apply_event(self, event: Dict) -> None:
+        """Apply one log/trace event (the WAL-replay hook).
+
+        Accepts the trace-event dialect of
+        :mod:`repro.workloads.serialization` — ``insert``/``update``
+        carry ``oid, y0, v, t0``; ``delete`` carries ``oid`` — so a
+        shard write-ahead log and a portable workload trace replay
+        through the same entry point.  Extra keys (``seq`` etc.) are
+        ignored.
+        """
+        kind = event.get("kind")
+        if kind == "insert":
+            self.register(
+                int(event["oid"]), float(event["y0"]),
+                float(event["v"]), float(event["t0"]),
+            )
+        elif kind == "update":
+            self.report(
+                int(event["oid"]), float(event["y0"]),
+                float(event["v"]), float(event["t0"]),
+            )
+        elif kind == "delete":
+            self.deregister(int(event["oid"]))
+        else:
+            raise InvalidMotionError(f"unknown log event kind {kind!r}")
+
+    def restore_clock(self, now: float) -> None:
+        """Advance the update clock to at least ``now``.
+
+        Recovery uses this after a checkpoint load: the checkpoint's
+        clock can be ahead of every surviving motion's ``t0`` (the
+        latest-reporting object may have been deregistered), and time
+        must never move backwards across a crash.
+        """
+        self._now = max(self._now, float(now))
+
     def objects(self) -> List[MobileObject1D]:
         """The current population as mobile objects (a fresh list)."""
         return [

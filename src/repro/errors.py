@@ -42,3 +42,37 @@ class InvalidMotionError(ReproError):
 
 class IndexExpiredError(ReproError):
     """Raised when querying a time-window index outside its valid window."""
+
+
+class ShardUnavailableError(ReproError):
+    """Raised when an operation needs a shard (or a whole replica group)
+    that is down.
+
+    Update operations raise this when *no* replica of the owning group
+    can apply the write; queries never raise it to callers — they
+    degrade to a :class:`~repro.service.replication.PartialResult`
+    instead (see :class:`DegradedResultWarning`).
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by the chaos-testing layer.
+
+    ``kind`` is ``"error"`` for transient faults (eligible for
+    retry-with-backoff) or ``"crash"`` for a simulated shard death
+    (never retried; the shard goes down until recovered).
+    """
+
+    def __init__(self, message: str, kind: str = "error") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+    @property
+    def transient(self) -> bool:
+        return self.kind == "error"
+
+
+class DegradedResultWarning(UserWarning):
+    """Emitted when a query answers partially because a replica group
+    is entirely unavailable; the result is a ``PartialResult`` naming
+    the unavailable shards instead of an exception."""

@@ -2,18 +2,29 @@
 
 * :mod:`repro.service.service` — :class:`ShardedMotionService`, the
   hash/velocity-partitioned fan-out/merge engine;
+* :mod:`repro.service.replication` —
+  :class:`FaultTolerantMotionService`, the replicated, crash-tolerant
+  variant (failover, graceful degradation via :class:`PartialResult`,
+  WAL recovery);
+* :mod:`repro.service.faults` — :class:`FaultInjector`, the seeded
+  chaos layer (transient errors, latency spikes, crashes);
+* :mod:`repro.service.health` — :class:`CircuitBreaker` and
+  :class:`RetryPolicy`;
+* :mod:`repro.service.wal` — :class:`ShardWAL`, the per-shard
+  write-ahead log + checkpoint used for crash recovery;
 * :mod:`repro.service.executor` — :class:`BatchExecutor`, two-phase
   (updates, then queries) epoch execution on a thread pool;
 * :mod:`repro.service.metrics` — :class:`MetricsRegistry`, counters +
   latency/I-O histograms per operation and per shard;
 * :mod:`repro.service.sharding` — the routing policies;
 * :mod:`repro.service.bench` — the ``python -m repro serve-bench``
-  workload.
+  workload (``--faults --replication --verify`` for chaos runs).
 """
 
 from repro.service.bench import (
     ServeBenchConfig,
     ServeBenchReport,
+    build_service,
     run_serve_bench,
 )
 from repro.service.executor import (
@@ -27,8 +38,15 @@ from repro.service.executor import (
     Report,
     SnapshotAt,
     Within,
+    op_class_name,
 )
+from repro.service.faults import FaultInjector, FaultSpec
+from repro.service.health import CircuitBreaker, RetryPolicy
 from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.replication import (
+    FaultTolerantMotionService,
+    PartialResult,
+)
 from repro.service.service import ROUTER_FACTORIES, ShardedMotionService
 from repro.service.sharding import (
     HashRouter,
@@ -36,28 +54,38 @@ from repro.service.sharding import (
     VelocityRouter,
     mix_oid,
 )
+from repro.service.wal import ShardWAL
 
 __all__ = [
     "BatchExecutor",
+    "CircuitBreaker",
     "Counter",
     "Deregister",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultTolerantMotionService",
     "HashRouter",
     "Histogram",
     "MetricsRegistry",
     "Nearest",
     "OpResult",
     "Operation",
+    "PartialResult",
     "ProximityPairs",
     "ROUTER_FACTORIES",
     "Register",
     "Report",
+    "RetryPolicy",
     "ServeBenchConfig",
     "ServeBenchReport",
     "ShardRouter",
+    "ShardWAL",
     "ShardedMotionService",
     "SnapshotAt",
     "VelocityRouter",
     "Within",
+    "build_service",
     "mix_oid",
+    "op_class_name",
     "run_serve_bench",
 ]

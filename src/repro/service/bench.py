@@ -8,6 +8,17 @@ service operator needs: throughput, p50/p99 latency and average
 simulated I/O per operation class, plus the per-shard breakdown that
 shows whether the routing policy balances load.
 
+Chaos mode (``faults=True`` and/or ``replication > 1``) swaps in a
+:class:`~repro.service.replication.FaultTolerantMotionService`: a
+seeded :class:`~repro.service.faults.FaultInjector` sprays transient
+errors and latency spikes across all shards and crashes one
+seed-picked victim shard mid-run; crashed shards are recovered
+(checkpoint + WAL replay + catalog reconciliation) after each epoch.
+With ``verify=True`` the run ends with a differential check against a
+faultless single :class:`~repro.engine.MotionDatabase` that replayed
+exactly the acknowledged updates — the "zero lost updates" assertion
+behind ``make chaos-smoke``.
+
 Everything is deterministic from ``seed`` (the paper's reproducibility
 discipline), so the smoke target in CI can assert on structure without
 flaking.
@@ -18,9 +29,10 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import Table
+from repro.engine import MotionDatabase
 from repro.service.executor import (
     BatchExecutor,
     Nearest,
@@ -31,12 +43,25 @@ from repro.service.executor import (
     SnapshotAt,
     Within,
 )
+from repro.service.faults import FaultInjector, FaultSpec
+from repro.service.health import RetryPolicy
+from repro.service.replication import FaultTolerantMotionService
 from repro.service.service import ShardedMotionService
 
 #: The paper's §5 motion parameters, reused as bench defaults.
 DEFAULT_Y_MAX = 1000.0
 DEFAULT_V_MIN = 0.16
 DEFAULT_V_MAX = 1.66
+
+#: Chaos-mode fault mix (rates per shard operation).  Modest enough
+#: that bounded retries almost always clear transient faults, spicy
+#: enough that a run of a few hundred ops sees every fault class.
+FAULT_ERROR_RATE = 0.03
+FAULT_LATENCY_RATE = 0.01
+FAULT_LATENCY_S = 0.0002
+#: Retry budget for chaos mode.
+RETRY_ATTEMPTS = 4
+RETRY_BACKOFF_S = 0.0002
 
 
 @dataclass
@@ -57,6 +82,14 @@ class ServeBenchConfig:
     #: pre-query protocol); keeps query avg_io honest instead of
     #: measuring a warm cache.
     cold_queries: bool = True
+    #: Copies per object; > 1 switches to the fault-tolerant service.
+    replication: int = 1
+    #: Enable the seeded fault injector (transient errors, latency
+    #: spikes, one victim-shard crash mid-run).
+    faults: bool = False
+    #: End the run with a differential check against a faultless
+    #: single database (zero-lost-updates assertion).
+    verify: bool = False
 
 
 @dataclass
@@ -67,26 +100,43 @@ class ServeBenchReport:
     elapsed_s: float
     operations: int
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Shard recoveries performed during the run (chaos mode).
+    recoveries: int = 0
+    #: Differential check outcome when ``config.verify`` was set.
+    verification: Optional[Dict[str, object]] = None
 
     @property
     def throughput_ops_s(self) -> float:
         return self.operations / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def failed_ops(self) -> Dict[str, int]:
+        """Caller-observed failed-op totals per operation class."""
+        return dict(self.stats["metrics"].get("failed_ops", {}))
+
     def operation_table(self) -> Table:
-        """Per-operation-class metrics (the service-wide view)."""
+        """Per-operation-class metrics (the service-wide view).
+
+        The ``errors`` column is the caller-observed failure count
+        (every ``OpResult.error`` from the batch layer); span-internal
+        errors are a subset of it, so failed ops no longer vanish into
+        the throughput numbers.
+        """
         table = Table(
             headers=["op", "calls", "p50_ms", "p99_ms", "avg_io", "errors"]
         )
         metrics = self.stats["metrics"]
-        for name in sorted(metrics["operations"]):
-            summary = metrics["operations"][name]
+        failed = self.failed_ops
+        names = sorted(set(metrics["operations"]) | set(failed))
+        for name in names:
+            summary = metrics["operations"].get(name, {})
             table.rows.append([
                 name,
-                summary["calls"],
-                summary["p50_ms"],
-                summary["p99_ms"],
-                summary["avg_io"],
-                summary["errors"],
+                summary.get("calls", 0),
+                summary.get("p50_ms", 0.0),
+                summary.get("p99_ms", 0.0),
+                summary.get("avg_io", 0.0),
+                failed.get(name, summary.get("errors", 0)),
             ])
         return table
 
@@ -127,6 +177,31 @@ class ServeBenchReport:
                 f"elapsed {self.elapsed_s:.3f}s — "
                 f"{self.throughput_ops_s:,.0f} ops/s"
             ),
+        ]
+        fault_tolerance = self.stats.get("fault_tolerance")
+        if fault_tolerance is not None:
+            injected = (fault_tolerance.get("faults") or {}).get(
+                "injected", {}
+            )
+            lines.append(
+                f"fault tolerance: replication={self.config.replication} "
+                f"injected={injected or 'off'} "
+                f"recoveries={self.recoveries} "
+                f"down={fault_tolerance['down_shards']}"
+            )
+        failed = self.failed_ops
+        if failed:
+            total = sum(failed.values())
+            lines.append(f"failed ops: {total} ({failed})")
+        if self.verification is not None:
+            v = self.verification
+            verdict = "OK" if v["mismatches"] == 0 else "MISMATCH"
+            lines.append(
+                f"verification vs faultless oracle: {verdict} — "
+                f"{v['checks']} checks, {v['mismatches']} mismatches, "
+                f"{v['lost_objects']} lost objects"
+            )
+        lines += [
             "",
             self.operation_table().render("Per-operation metrics"),
             "",
@@ -179,23 +254,162 @@ def build_batch(
     return updates, batch
 
 
+def build_service(
+    config: ServeBenchConfig,
+) -> ShardedMotionService:
+    """The service under test: plain sharded, or fault-tolerant when
+    chaos mode (``faults`` / ``replication > 1``) is requested.
+
+    The fault plan is fully seeded: every shard gets the default
+    transient-error/latency mix, and one seed-picked victim shard
+    additionally crashes partway through the run.
+    """
+    if not (config.faults or config.replication > 1):
+        return ShardedMotionService(
+            DEFAULT_Y_MAX,
+            DEFAULT_V_MIN,
+            DEFAULT_V_MAX,
+            shards=config.shards,
+            method=config.method,
+            router=config.router,
+        )
+    injector = None
+    if config.faults:
+        plan_rng = random.Random(config.seed * 7919 + 1)
+        victim = plan_rng.randrange(config.shards)
+        default = FaultSpec(
+            error_rate=FAULT_ERROR_RATE,
+            latency_rate=FAULT_LATENCY_RATE,
+            latency_s=FAULT_LATENCY_S,
+        )
+        # Crash the victim once it has absorbed its share of the
+        # initial load plus part of the first update epochs.
+        crash_op = (
+            config.n // max(1, config.shards)
+            + max(1, config.updates_per_batch // 2)
+        )
+        injector = FaultInjector(
+            seed=config.seed,
+            default=default,
+            per_shard={
+                victim: FaultSpec(
+                    error_rate=FAULT_ERROR_RATE,
+                    latency_rate=FAULT_LATENCY_RATE,
+                    latency_s=FAULT_LATENCY_S,
+                    crash_on_op=crash_op,
+                )
+            },
+        )
+    return FaultTolerantMotionService(
+        DEFAULT_Y_MAX,
+        DEFAULT_V_MIN,
+        DEFAULT_V_MAX,
+        shards=config.shards,
+        replication_factor=config.replication,
+        method=config.method,
+        router=config.router,
+        fault_injector=injector,
+        retry=RetryPolicy(
+            attempts=RETRY_ATTEMPTS, backoff_s=RETRY_BACKOFF_S
+        ),
+    )
+
+
+def _verify_against_oracle(
+    service: ShardedMotionService, oracle: MotionDatabase, seed: int
+) -> Dict[str, object]:
+    """Differential full-menu check: the service (with faults still
+    armed) must answer exactly like the faultless oracle that replayed
+    only the acknowledged updates — i.e. zero lost updates."""
+    rng = random.Random(seed ^ 0xC0FFEE)
+    now = max(service.now, oracle.now)
+    mismatch_names: List[str] = []
+    checks = 0
+
+    def compare(name: str, got: object, want: object) -> None:
+        nonlocal checks
+        checks += 1
+        if got != want:
+            mismatch_names.append(name)
+
+    compare("population", len(service), len(oracle))
+    for i in range(5):
+        y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.8)
+        t1 = now + rng.uniform(0.0, 10.0)
+        t2 = t1 + rng.uniform(1.0, 20.0)
+        compare(
+            f"within[{i}]",
+            service.within(y1, y1 + 150.0, t1, t2),
+            oracle.within(y1, y1 + 150.0, t1, t2),
+        )
+    for i in range(3):
+        y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.9)
+        t = now + rng.uniform(0.0, 10.0)
+        compare(
+            f"snapshot_at[{i}]",
+            service.snapshot_at(y1, y1 + 80.0, t),
+            oracle.snapshot_at(y1, y1 + 80.0, t),
+        )
+    for k in (1, 4, 9):
+        y = rng.uniform(0.0, DEFAULT_Y_MAX)
+        t = now + rng.uniform(0.0, 10.0)
+        compare(
+            f"nearest[k={k}]",
+            service.nearest(y, t, k),
+            oracle.nearest(y, t, k),
+        )
+    t1 = now + rng.uniform(0.0, 3.0)
+    compare(
+        "proximity_pairs",
+        service.proximity_pairs(5.0, t1, t1 + 10.0),
+        oracle.proximity_pairs(5.0, t1, t1 + 10.0),
+    )
+    return {
+        "checks": checks,
+        "mismatches": len(mismatch_names),
+        "mismatch_names": mismatch_names,
+        "lost_objects": max(0, len(oracle) - len(service)),
+    }
+
+
 def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
     """Run the full serve-bench workload, returning the report."""
     if config.n < 1:
         raise ValueError(f"need at least 1 object, got n={config.n}")
     if config.batches < 0:
         raise ValueError(f"batches must be >= 0, got {config.batches}")
+    if config.replication < 1:
+        raise ValueError(
+            f"replication must be >= 1, got {config.replication}"
+        )
+    if config.shards >= 1 and config.replication > config.shards:
+        # shards < 1 falls through to the service constructor's own
+        # "need at least 1 shard" rejection.
+        raise ValueError(
+            f"replication {config.replication} exceeds shard count "
+            f"{config.shards}"
+        )
     rng = random.Random(config.seed)
-    service = ShardedMotionService(
-        DEFAULT_Y_MAX,
-        DEFAULT_V_MIN,
-        DEFAULT_V_MAX,
-        shards=config.shards,
-        method=config.method,
-        router=config.router,
+    chaos = config.faults or config.replication > 1
+    service = build_service(config)
+    oracle = (
+        MotionDatabase(DEFAULT_Y_MAX, DEFAULT_V_MIN, DEFAULT_V_MAX,
+                       method=config.method)
+        if config.verify
+        else None
     )
     oids = list(range(config.n))
     operations = 0
+    recoveries = 0
+
+    def recover_down_shards() -> None:
+        nonlocal recoveries
+        if not isinstance(service, FaultTolerantMotionService):
+            return
+        for shard in service.down_shards():
+            service.recover_shard(shard)
+            recoveries += 1
+
     start = time.perf_counter()
     with BatchExecutor(
         service, max_workers=config.workers or None
@@ -212,7 +426,11 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
                 t0=0.0,
             ))
         for result in executor.run(seed_batch):
-            if not result.ok:
+            if result.ok:
+                if oracle is not None:
+                    op = result.op
+                    oracle.register(op.oid, op.y0, op.v, op.t0)
+            elif not chaos:
                 raise result.error
         operations += len(seed_batch)
 
@@ -226,19 +444,35 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
             updates, queries = build_batch(
                 rng, config, oids, now, include_proximity
             )
+            applied: List[Report] = []
             for result in executor.run(updates):
-                if not result.ok:
+                if result.ok:
+                    applied.append(result.op)
+                elif not chaos:
                     raise result.error
+            if oracle is not None:
+                # The executor applies each shard group in timestamp
+                # order; replay acknowledged updates the same way.
+                for op in sorted(applied, key=lambda op: op.t0):
+                    oracle.report(op.oid, op.y0, op.v, op.t0)
             if config.cold_queries:
                 service.clear_buffers()
             for result in executor.run(queries):
-                if not result.ok:
+                if not result.ok and not chaos:
                     raise result.error
             operations += len(updates) + len(queries)
+            recover_down_shards()
     elapsed = time.perf_counter() - start
+    verification = (
+        _verify_against_oracle(service, oracle, config.seed)
+        if oracle is not None
+        else None
+    )
     return ServeBenchReport(
         config=config,
         elapsed_s=elapsed,
         operations=operations,
         stats=service.service_stats(),
+        recoveries=recoveries,
+        verification=verification,
     )

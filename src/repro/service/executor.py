@@ -25,11 +25,13 @@ bulk call.
 
 from __future__ import annotations
 
+import re
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.core.model import LinearMotion1D
+from repro.errors import ObjectNotFoundError
 from repro.service.service import ShardedMotionService
 
 # -- operation types ------------------------------------------------------------
@@ -88,6 +90,13 @@ class ProximityPairs:
 UpdateOp = Union[Register, Report, Deregister]
 QueryOp = Union[Within, SnapshotAt, Nearest, ProximityPairs]
 Operation = Union[UpdateOp, QueryOp]
+
+
+def op_class_name(op: Operation) -> str:
+    """Metric key for an operation: its class name in snake case
+    (``SnapshotAt`` → ``"snapshot_at"``), matching the service's own
+    span names so batch-failure counts line up with span metrics."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", type(op).__name__).lower()
 
 
 @dataclass
@@ -185,14 +194,18 @@ class BatchExecutor:
         if isinstance(op, Deregister):
             try:
                 return service.shard_of(op.oid)
-            except Exception:
+            except ObjectNotFoundError:
+                # Unregistered: any group works — the op will fail with
+                # the same error wherever it runs.  Anything else (a
+                # routing/catalog bug) must propagate, not silently
+                # mis-group work onto shard 0.
                 return 0
         motion = LinearMotion1D(op.y0, op.v, op.t0)
         if isinstance(op, Report) and service.router.motion_sensitive:
             try:
                 return service.shard_of(op.oid)
-            except Exception:
-                pass
+            except ObjectNotFoundError:
+                pass  # unregistered: fall through to the would-be route
         return service.router.route(op.oid, motion)
 
     def _apply(self, op: Operation) -> OpResult:
@@ -216,4 +229,5 @@ class BatchExecutor:
                 raise TypeError(f"unknown operation {op!r}")
             return OpResult(op=op, value=value)
         except Exception as error:  # per-op containment
+            service.metrics.record_batch_failure(op_class_name(op))
             return OpResult(op=op, error=error)

@@ -1,0 +1,157 @@
+"""Shard health machinery: circuit breakers and bounded retries.
+
+Two small, deterministic-by-injection primitives used by the
+fault-tolerant service:
+
+* :class:`RetryPolicy` — bounded retry with exponential backoff for
+  *transient* faults (``InjectedFaultError(kind="error")`` and
+  anything else whose ``transient`` attribute is true).  Crashes are
+  never retried: retrying a dead shard only hides the failure from
+  the failover path.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine, one per shard, guarding the *query* path: after
+  ``failure_threshold`` consecutive failures the shard is skipped
+  (its replicas answer instead) until ``reset_after_s`` elapses and a
+  half-open probe succeeds.  The write path deliberately ignores the
+  breaker — correctness requires writing to every live replica, so a
+  flaky shard that exhausts its write retries is marked *down* (and
+  later reconciled) rather than silently skipped.
+
+Both take their clock/sleep as constructor injections so tests drive
+them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple, Type
+
+from repro.errors import InjectedFaultError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-shard breaker: trip after N consecutive failures, probe later.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the circuit.
+    reset_after_s:
+        Seconds the circuit stays open before one half-open probe is
+        allowed through.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_locked()
+
+    def allow(self) -> bool:
+        """May the next call proceed?  Open circuits reject until the
+        reset window elapses, then admit one half-open probe."""
+        with self._lock:
+            return self._probe_locked() != OPEN
+
+    def _probe_locked(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or (
+                self._failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        self.record_success()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._probe_locked(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+            }
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    ``run(fn)`` calls ``fn`` up to ``attempts`` times; a transient
+    exception (its ``transient`` attribute is true — the default for
+    :class:`InjectedFaultError` errors) sleeps ``backoff_s *
+    multiplier**i`` and retries; anything else, including crash-kind
+    faults, propagates immediately.  The last transient exception is
+    re-raised when attempts are exhausted.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        backoff_s: float = 0.001,
+        multiplier: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.backoff_s = backoff_s
+        self.multiplier = multiplier
+        self._sleep = sleep
+
+    def run(
+        self,
+        fn: Callable[[], object],
+        transient: Tuple[Type[BaseException], ...] = (InjectedFaultError,),
+    ) -> object:
+        delay = self.backoff_s
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except transient as exc:
+                if not getattr(exc, "transient", True):
+                    raise
+                last = exc
+                if attempt + 1 < self.attempts:
+                    self._sleep(delay)
+                    delay *= self.multiplier
+        assert last is not None
+        raise last

@@ -138,6 +138,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._ops: Dict[str, OperationMetrics] = {}
         self._shard_ops: Dict[Tuple[int, str], OperationMetrics] = {}
+        self._failed_ops: Dict[str, int] = {}
         self.live_io = IOStats()
         self._started = time.perf_counter()
 
@@ -161,6 +162,20 @@ class MetricsRegistry:
     def record_shard_io(self, shard: int, name: str, io: IOSnapshot) -> None:
         """Book one shard's share of an operation (zero latency)."""
         self.shard_operation(shard, name).record(0.0, io)
+
+    def record_batch_failure(self, name: str) -> None:
+        """Count one failed batch operation (an ``OpResult`` carrying
+        an error).
+
+        Kept separate from ``operations[op].errors``: that counter
+        only sees exceptions raised *inside* a service span, while
+        this one is the caller-observed total — it also covers
+        failures that never reach the service (routing errors, unknown
+        operation types).  Failed ops must not vanish into throughput
+        numbers.
+        """
+        with self._lock:
+            self._failed_ops[name] = self._failed_ops.get(name, 0) + 1
 
     @contextmanager
     def span(self, name: str) -> Iterator["Span"]:
@@ -190,12 +205,14 @@ class MetricsRegistry:
               "live_io": {"reads": R, "writes": W, "buffer_hits": H},
               "operations": {op: {calls, errors, p50_ms, p99_ms,
                                   avg_io, reads, writes, buffer_hits}},
+              "failed_ops": {op: caller-observed failure count},
               "shards": {shard_id: {op: {...same keys...}}},
             }
         """
         with self._lock:
             ops_view = dict(self._ops)
             shard_ops_view = dict(self._shard_ops)
+            failed_view = dict(self._failed_ops)
         operations = {
             name: metrics.summary() for name, metrics in ops_view.items()
         }
@@ -210,6 +227,7 @@ class MetricsRegistry:
                 "buffer_hits": self.live_io.buffer_hits,
             },
             "operations": operations,
+            "failed_ops": failed_view,
             "shards": shards,
         }
 

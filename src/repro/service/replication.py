@@ -1,0 +1,656 @@
+"""Fault-tolerant sharded serving: replication, failover, degradation.
+
+:class:`FaultTolerantMotionService` extends
+:class:`~repro.service.service.ShardedMotionService` with the fault
+model of distributed moving-object systems (MOIST-style checkpointed
+workers; distributed continuous-range-query processing over fallible
+nodes):
+
+* **Replication** — every object lives on ``replication_factor``
+  consecutive shards: primary ``p = route(oid)`` plus replicas
+  ``(p+1) % k, ...``.  Writes go to every *live* member of the group
+  (write-all-live); a write succeeds iff at least one replica applied
+  it.  The catalog additionally remembers each object's authoritative
+  motion, which is what recovery reconciles against.
+* **Fault handling** — every shard touch runs through a bounded
+  :class:`~repro.service.health.RetryPolicy` (transient injected
+  faults back off and retry).  A crash-kind fault marks the shard
+  *down*; a write that exhausts its retries also marks the shard down
+  (a shard that missed a write must not keep serving — it is stale
+  until recovered).  A per-shard
+  :class:`~repro.service.health.CircuitBreaker` guards the *query*
+  path only: queries skip an open-circuit shard and let its replicas
+  answer, while writes always attempt every live replica.
+* **Recovery** — :meth:`recover_shard` rebuilds a dead shard from its
+  checkpoint + write-ahead-log tail (byte-identical to its pre-crash
+  committed state), then reconciles against the catalog to pick up
+  writes that landed on the surviving replicas while it was down.
+* **Graceful degradation** — queries never raise for a dead shard.
+  When every member of some replica group is unavailable the answer
+  is a :class:`PartialResult` carrying the reachable answer set plus
+  the unavailable primaries, and a
+  :class:`~repro.errors.DegradedResultWarning` is emitted.  With full
+  coverage the plain result is returned, byte-identical to a
+  faultless single database.
+
+Invariants (the chaos tests check these):
+
+1. an *up* shard has applied every write for every group it belongs
+   to — shards that miss a write are down by construction;
+2. WAL append happens *after* the database apply (redo log of
+   committed operations), so checkpoint + replay reproduces exactly
+   the committed pre-crash state;
+3. the catalog (owner + motion) is updated only after at least one
+   replica applied the write, so it always describes a state that is
+   durable somewhere.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.model import LinearMotion1D
+from repro.engine import MotionDatabase
+from repro.errors import (
+    DegradedResultWarning,
+    InjectedFaultError,
+    InvalidMotionError,
+    ObjectNotFoundError,
+    ShardUnavailableError,
+)
+from repro.service.faults import FaultInjector
+from repro.service.health import CircuitBreaker, RetryPolicy
+from repro.service.metrics import MetricsRegistry
+from repro.service.service import ShardedMotionService, ShardRouter
+from repro.service.wal import ShardWAL
+
+UP = "up"
+DOWN = "down"
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """A degraded query answer: what could be answered, plus the gap.
+
+    ``value`` is the usual result (id set, ranked list, pair set)
+    restricted to objects with at least one reachable replica;
+    ``unavailable_shards`` lists the primary shards whose entire
+    replica group was unreachable.  ``complete`` is always ``False``
+    so callers can branch without an isinstance check.
+    """
+
+    value: object
+    unavailable_shards: Tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        return False
+
+    def __iter__(self):
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.value
+
+
+@dataclass
+class _ShardNode:
+    """Fault-tolerance state riding alongside one shard database."""
+
+    shard_id: int
+    wal: ShardWAL
+    breaker: CircuitBreaker
+    status: str = UP
+    down_reason: Optional[str] = None
+    crashes: int = 0
+
+    @property
+    def up(self) -> bool:
+        return self.status == UP
+
+    def mark_down(self, reason: str) -> None:
+        self.status = DOWN
+        self.down_reason = reason
+        self.crashes += 1
+
+    def mark_up(self) -> None:
+        self.status = UP
+        self.down_reason = None
+
+
+class FaultTolerantMotionService(ShardedMotionService):
+    """Replicated, crash-tolerant variant of the sharded service.
+
+    Additional parameters over :class:`ShardedMotionService`:
+
+    replication_factor:
+        Copies per object (``1 <= r <= shards``).  ``r=1`` keeps the
+        base data layout but still adds WAL recovery and degradation.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector` consulted
+        before every shard touch (chaos testing); ``None`` disables
+        injection entirely.
+    retry:
+        :class:`~repro.service.health.RetryPolicy` for transient
+        faults.
+    checkpoint_every:
+        WAL records between automatic per-shard checkpoints.
+    breaker_threshold / breaker_reset_s:
+        Per-shard circuit-breaker tuning (query path).
+    """
+
+    def __init__(
+        self,
+        y_max: float,
+        v_min: float,
+        v_max: float,
+        shards: int = 4,
+        replication_factor: int = 2,
+        method: str = "forest",
+        index_factory=None,
+        keep_history: bool = False,
+        router: str | ShardRouter = "hash",
+        metrics: Optional[MetricsRegistry] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_every: int = 64,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 0.05,
+    ) -> None:
+        super().__init__(
+            y_max,
+            v_min,
+            v_max,
+            shards=shards,
+            method=method,
+            index_factory=index_factory,
+            keep_history=keep_history,
+            router=router,
+            metrics=metrics,
+        )
+        if not 1 <= replication_factor <= shards:
+            raise ValueError(
+                f"replication_factor must be in [1, {shards}], got "
+                f"{replication_factor}"
+            )
+        self.replication_factor = replication_factor
+        self._injector = fault_injector
+        self._retry = retry or RetryPolicy()
+        self._nodes = [
+            _ShardNode(
+                shard_id=i,
+                wal=ShardWAL(checkpoint_every=checkpoint_every),
+                breaker=CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    reset_after_s=breaker_reset_s,
+                ),
+            )
+            for i in range(shards)
+        ]
+        self._catalog_motion: Dict[int, LinearMotion1D] = {}
+        self._recoveries = 0
+
+    # -- topology --------------------------------------------------------------
+
+    def replica_group(self, primary: int) -> List[int]:
+        """The shards holding objects whose primary is ``primary``."""
+        k = self.shard_count
+        return [(primary + j) % k for j in range(self.replication_factor)]
+
+    _group = replica_group
+
+    def shard_status(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "shard": node.shard_id,
+                "status": node.status,
+                "reason": node.down_reason,
+                "breaker": node.breaker.snapshot(),
+                "wal": node.wal.snapshot(),
+            }
+            for node in self._nodes
+        ]
+
+    @contextmanager
+    def _holding(self, shards) -> Iterator[None]:
+        held = sorted(set(shards))
+        for shard in held:
+            self._locks[shard].acquire()
+        try:
+            yield
+        finally:
+            for shard in reversed(held):
+                self._locks[shard].release()
+
+    # -- guarded shard access --------------------------------------------------
+
+    def _touch(self, shard: int, op_name: str, fn: Callable[[MotionDatabase], object],
+               span, write: bool) -> object:
+        """One guarded shard access: injection, retry, breaker, I/O span.
+
+        Raises :class:`ShardUnavailableError` when the shard cannot
+        serve (injected crash, or transient faults exhausted retries);
+        for writes both cases mark the shard down — a shard that
+        missed a write is stale and must recover before serving
+        again.  Application-level rejections (``InvalidMotionError``
+        etc.) propagate unchanged.
+        """
+        node = self._nodes[shard]
+        if not node.up:
+            raise ShardUnavailableError(
+                f"shard {shard} is down ({node.down_reason})"
+            )
+        db = self._shards[shard]
+
+        def attempt() -> object:
+            if self._injector is not None:
+                self._injector.on_op(shard, op_name)
+            return fn(db)
+
+        before = db.io_snapshot()
+        try:
+            value = self._retry.run(attempt)
+        except InjectedFaultError as exc:
+            span.add_shard_io(shard, db.io_delta_since(before))
+            if exc.kind == "crash":
+                node.mark_down(f"injected crash during {op_name}")
+            else:
+                node.breaker.record_failure()
+                if write:
+                    node.mark_down(
+                        f"transient faults exhausted retries during "
+                        f"{op_name}"
+                    )
+            raise ShardUnavailableError(
+                f"shard {shard} failed {op_name}: {exc}"
+            ) from exc
+        span.add_shard_io(shard, db.io_delta_since(before))
+        node.breaker.record_success()
+        return value
+
+    def _apply_write(self, shard: int, op_name: str, fn, span,
+                     record_kind: str, record_fields: Dict) -> bool:
+        """Apply one write to one shard; ``True`` iff it landed.
+
+        Skips shards that are already down; on success appends the WAL
+        record (append-after-apply) and maybe checkpoints.
+        """
+        if not self._nodes[shard].up:
+            return False
+        try:
+            self._touch(shard, op_name, fn, span, write=True)
+        except ShardUnavailableError:
+            return False
+        node = self._nodes[shard]
+        node.wal.append(record_kind, **record_fields)
+        node.wal.maybe_checkpoint(self._shards[shard])
+        return True
+
+    # -- updates ----------------------------------------------------------------
+
+    def register(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Add a new object to every live replica of its group."""
+        with self.metrics.span("register") as span:
+            motion = LinearMotion1D(y0, v, t0)
+            primary = self.router.route(oid, motion)
+            group = self.replica_group(primary)
+            with self._catalog_lock:
+                if oid in self._owner:
+                    raise InvalidMotionError(
+                        f"object {oid} is already registered; use report()"
+                    )
+                self._owner[oid] = primary
+            try:
+                with self._holding(group):
+                    applied = 0
+                    for shard in sorted(group):
+                        if self._apply_write(
+                            shard, "register",
+                            lambda db: db.register(oid, y0, v, t0),
+                            span, "insert",
+                            {"oid": oid, "y0": y0, "v": v, "t0": t0},
+                        ):
+                            applied += 1
+                    if applied == 0:
+                        raise ShardUnavailableError(
+                            f"register({oid}): no live replica in group "
+                            f"{group}"
+                        )
+                    with self._catalog_lock:
+                        self._catalog_motion[oid] = motion
+            except Exception:
+                with self._catalog_lock:
+                    self._owner.pop(oid, None)
+                    self._catalog_motion.pop(oid, None)
+                raise
+
+    def report(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Motion update on every live replica, migrating groups when
+        the router says so (the new group is written before the old
+        copies are dropped, so a failure never loses the object)."""
+        with self.metrics.span("report") as span:
+            motion = LinearMotion1D(y0, v, t0)
+            while True:
+                with self._catalog_lock:
+                    current = self._owner.get(oid)
+                if current is None:
+                    raise ObjectNotFoundError(
+                        f"object {oid} is not registered"
+                    )
+                target = (
+                    self.router.route(oid, motion)
+                    if self.router.motion_sensitive
+                    else current
+                )
+                old_group = set(self.replica_group(current))
+                new_group = set(self.replica_group(target))
+                with self._holding(old_group | new_group):
+                    with self._catalog_lock:
+                        if self._owner.get(oid) != current:
+                            continue  # lost the race; retry with new owner
+                    applied = 0
+                    for shard in sorted(old_group & new_group):
+                        if self._apply_write(
+                            shard, "report",
+                            lambda db: db.report(oid, y0, v, t0),
+                            span, "update",
+                            {"oid": oid, "y0": y0, "v": v, "t0": t0},
+                        ):
+                            applied += 1
+                    for shard in sorted(new_group - old_group):
+                        if self._apply_write(
+                            shard, "report",
+                            lambda db: db.register(oid, y0, v, t0),
+                            span, "insert",
+                            {"oid": oid, "y0": y0, "v": v, "t0": t0},
+                        ):
+                            applied += 1
+                    if applied == 0:
+                        raise ShardUnavailableError(
+                            f"report({oid}): no live replica in "
+                            f"{sorted(old_group | new_group)}"
+                        )
+                    for shard in sorted(old_group - new_group):
+                        self._apply_write(
+                            shard, "report",
+                            lambda db: db.deregister(oid),
+                            span, "delete", {"oid": oid},
+                        )
+                    with self._catalog_lock:
+                        self._owner[oid] = target
+                        self._catalog_motion[oid] = motion
+                    return
+
+    def deregister(self, oid: int) -> None:
+        """Remove an object from every live replica of its group."""
+        with self.metrics.span("deregister") as span:
+            with self._catalog_lock:
+                primary = self._owner.get(oid)
+            if primary is None:
+                raise ObjectNotFoundError(f"object {oid} is not registered")
+            group = self.replica_group(primary)
+            with self._holding(group):
+                applied = 0
+                for shard in sorted(group):
+                    if self._apply_write(
+                        shard, "deregister",
+                        lambda db: db.deregister(oid),
+                        span, "delete", {"oid": oid},
+                    ):
+                        applied += 1
+                if applied == 0:
+                    raise ShardUnavailableError(
+                        f"deregister({oid}): no live replica in group "
+                        f"{group}"
+                    )
+                with self._catalog_lock:
+                    self._owner.pop(oid, None)
+                    self._catalog_motion.pop(oid, None)
+
+    def location_of(self, oid: int, t: float) -> float:
+        """Point lookup with replica failover."""
+        with self._catalog_lock:
+            primary = self._owner.get(oid)
+        if primary is None:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        with self.metrics.span("location_of") as span:
+            for shard in self.replica_group(primary):
+                if not self._nodes[shard].up:
+                    continue
+                with self._locks[shard]:
+                    try:
+                        return self._touch(
+                            shard, "location_of",
+                            lambda db: db.location_of(oid, t),
+                            span, write=False,
+                        )
+                    except ShardUnavailableError:
+                        continue
+            raise ShardUnavailableError(
+                f"object {oid}: no live replica in group "
+                f"{self.replica_group(primary)}"
+            )
+
+    # -- queries ----------------------------------------------------------------
+
+    def _fanout_union(self, name: str, fn, span) -> Tuple[Set, Set[int]]:
+        """Union a per-shard set query over every answerable shard."""
+        result: Set = set()
+        answered: Set[int] = set()
+        for shard in range(self.shard_count):
+            node = self._nodes[shard]
+            if not node.up or not node.breaker.allow():
+                continue
+            with self._locks[shard]:
+                try:
+                    part = self._touch(shard, name, fn, span, write=False)
+                except ShardUnavailableError:
+                    continue
+            result |= part
+            answered.add(shard)
+        return result, answered
+
+    def _uncovered(self, answered: Set[int]) -> Tuple[int, ...]:
+        """Primaries whose whole replica group went unanswered (and
+        that actually own objects — an empty dead group is no loss)."""
+        with self._catalog_lock:
+            primaries = set(self._owner.values())
+        return tuple(
+            sorted(
+                p
+                for p in primaries
+                if not (set(self.replica_group(p)) & answered)
+            )
+        )
+
+    def _degrade(self, name: str, value, answered: Set[int]):
+        unavailable = self._uncovered(answered)
+        if not unavailable:
+            return value
+        warnings.warn(
+            DegradedResultWarning(
+                f"{name}: replica groups of primaries "
+                f"{list(unavailable)} are unavailable; returning a "
+                f"partial result"
+            ),
+            stacklevel=3,
+        )
+        return PartialResult(value=value, unavailable_shards=unavailable)
+
+    def within(self, y1, y2, t1, t2):
+        with self.metrics.span("within") as span:
+            result, answered = self._fanout_union(
+                "within", lambda db: db.within(y1, y2, t1, t2), span
+            )
+            return self._degrade("within", result, answered)
+
+    def snapshot_at(self, y1, y2, t):
+        with self.metrics.span("snapshot_at") as span:
+            result, answered = self._fanout_union(
+                "snapshot_at", lambda db: db.snapshot_at(y1, y2, t), span
+            )
+            return self._degrade("snapshot_at", result, answered)
+
+    def query_past(self, y1, y2, t1, t2):
+        with self.metrics.span("query_past") as span:
+            result, answered = self._fanout_union(
+                "query_past", lambda db: db.query_past(y1, y2, t1, t2), span
+            )
+            return self._degrade("query_past", result, answered)
+
+    def nearest(self, y, t, k=1):
+        """Global k-NN over reachable replicas; duplicates from
+        replication collapse by object id before the re-rank."""
+        with self.metrics.span("nearest") as span:
+            best: Dict[int, float] = {}
+            answered: Set[int] = set()
+            for shard in range(self.shard_count):
+                node = self._nodes[shard]
+                if not node.up or not node.breaker.allow():
+                    continue
+                with self._locks[shard]:
+                    try:
+                        part = self._touch(
+                            shard, "nearest",
+                            lambda db: db.nearest(y, t, k),
+                            span, write=False,
+                        )
+                    except ShardUnavailableError:
+                        continue
+                for oid, dist in part:
+                    best[oid] = dist
+                answered.add(shard)
+            ranked = sorted(best.items(), key=lambda p: (p[1], p[0]))[:k]
+            return self._degrade("nearest", ranked, answered)
+
+    def proximity_pairs(self, d, t1, t2):
+        """All-pairs proximity over reachable shards.
+
+        Every answerable shard is locked for the duration (one
+        consistent cross-shard population); replica-induced duplicate
+        pairs and self-pairs collapse during the merge.
+        """
+        with self.metrics.span("proximity_pairs") as span:
+            candidates = [
+                shard
+                for shard in range(self.shard_count)
+                if self._nodes[shard].up
+                and self._nodes[shard].breaker.allow()
+            ]
+            with self._holding(candidates):
+                answered: List[int] = []
+                for shard in candidates:
+                    try:
+                        # The fault gate for this shard's whole share
+                        # of the join (self-join + exchanges below).
+                        self._touch(
+                            shard, "proximity_pairs",
+                            lambda db: None, span, write=False,
+                        )
+                    except ShardUnavailableError:
+                        continue
+                    answered.append(shard)
+                pairs: Set[Tuple[int, int]] = set()
+                for position, i in enumerate(answered):
+                    shard_db = self._shards[i]
+                    before = shard_db.io_snapshot()
+                    pairs |= shard_db.proximity_pairs(d, t1, t2)
+                    outer = shard_db.objects()
+                    span.add_shard_io(i, shard_db.io_delta_since(before))
+                    for j in answered[position + 1:]:
+                        inner = self._shards[j]
+                        before_j = inner.io_snapshot()
+                        directed = inner.join_against(outer, d, t1, t2)
+                        span.add_shard_io(j, inner.io_delta_since(before_j))
+                        pairs |= {
+                            (min(a, b), max(a, b))
+                            for a, b in directed
+                            if a != b
+                        }
+            return self._degrade("proximity_pairs", pairs, set(answered))
+
+    # -- failure administration --------------------------------------------------
+
+    def kill_shard(self, shard: int, reason: str = "operator kill") -> None:
+        """Simulate an abrupt shard death (tests and chaos drills)."""
+        with self._locks[shard]:
+            self._nodes[shard].mark_down(reason)
+
+    def down_shards(self) -> List[int]:
+        return [n.shard_id for n in self._nodes if not n.up]
+
+    def recover_shard(self, shard: int) -> Dict[str, object]:
+        """Rebuild a dead shard: checkpoint + WAL replay, then catalog
+        reconciliation.
+
+        Replay alone reproduces the shard's committed pre-crash state
+        byte-for-byte; reconciliation then applies everything the
+        surviving replicas accepted while this shard was down (the
+        catalog's authoritative motions), and takes a fresh checkpoint
+        as the new recovery baseline.
+        """
+        node = self._nodes[shard]
+        if node.up:
+            raise ValueError(f"shard {shard} is not down")
+        with self._locks[shard]:
+            db = node.wal.recover(self._build_database)
+            replayed = len(node.wal.tail())
+            with self._catalog_lock:
+                expected = {
+                    oid: self._catalog_motion[oid]
+                    for oid, primary in self._owner.items()
+                    if shard in self.replica_group(primary)
+                }
+            current = {obj.oid: obj.motion for obj in db.objects()}
+            dropped = repaired = 0
+            for oid in sorted(set(current) - set(expected)):
+                db.deregister(oid)
+                dropped += 1
+            for oid in sorted(set(expected) - set(current)):
+                m = expected[oid]
+                db.register(oid, m.y0, m.v, m.t0)
+                repaired += 1
+            for oid in sorted(set(expected) & set(current)):
+                m, c = expected[oid], current[oid]
+                if (m.y0, m.v, m.t0) != (c.y0, c.v, c.t0):
+                    db.report(oid, m.y0, m.v, m.t0)
+                    repaired += 1
+            node.wal.checkpoint(db)
+            self._shards[shard] = db
+            node.breaker.reset()
+            node.mark_up()
+            if self._injector is not None:
+                self._injector.clear_crash(shard)
+            self._recoveries += 1
+        return {
+            "shard": shard,
+            "replayed": replayed,
+            "reconciled": repaired,
+            "dropped": dropped,
+            "objects": len(db),
+        }
+
+    # -- accounting --------------------------------------------------------------
+
+    def service_stats(self) -> Dict[str, object]:
+        """Base snapshot plus the fault-tolerance view (health, WAL,
+        breaker and injected-fault accounting)."""
+        stats = super().service_stats()
+        stats["fault_tolerance"] = {
+            "replication_factor": self.replication_factor,
+            "recoveries": self._recoveries,
+            "down_shards": self.down_shards(),
+            "health": self.shard_status(),
+            "faults": (
+                self._injector.snapshot()
+                if self._injector is not None
+                else None
+            ),
+        }
+        return stats

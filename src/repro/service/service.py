@@ -101,22 +101,38 @@ class ShardedMotionService:
                 )
             self.router = factory(shards, v_max)
         self.metrics = metrics or MetricsRegistry()
+        self._db_params = {
+            "y_max": y_max,
+            "v_min": v_min,
+            "v_max": v_max,
+            "method": method,
+            "index_factory": index_factory,
+            "keep_history": keep_history,
+        }
         self._shards: List[MotionDatabase] = [
-            MotionDatabase(
-                y_max,
-                v_min,
-                v_max,
-                method=method,
-                index_factory=index_factory,
-                keep_history=keep_history,
-            )
-            for _ in range(shards)
+            self._build_database() for _ in range(shards)
         ]
-        for shard in self._shards:
-            shard.attach_io_listener(self.metrics.live_io)
         self._locks = [threading.RLock() for _ in range(shards)]
         self._catalog_lock = threading.RLock()
         self._owner: Dict[int, int] = {}
+
+    def _build_database(self) -> MotionDatabase:
+        """One shard-sized database, metrics listener attached.
+
+        The single place shard databases come from: construction here
+        and crash recovery in the fault-tolerant subclass both use it,
+        so a rebuilt shard is configured identically to the original.
+        """
+        db = MotionDatabase(
+            self._db_params["y_max"],
+            self._db_params["v_min"],
+            self._db_params["v_max"],
+            method=self._db_params["method"],
+            index_factory=self._db_params["index_factory"],
+            keep_history=self._db_params["keep_history"],
+        )
+        db.attach_io_listener(self.metrics.live_io)
+        return db
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,141 @@
+"""Per-shard write-ahead log + periodic checkpoints (crash recovery).
+
+MOIST's scaling story checkpoints index state so indexing survives
+worker loss; :class:`ShardWAL` is that idea for one shard of the
+service.  The protocol (all under the shard's lock):
+
+1. apply the update to the shard's :class:`MotionDatabase`;
+2. :meth:`append` one log record — the *redo log of committed
+   operations* (append-after-apply, so a crash mid-operation leaves
+   the log describing exactly the committed prefix and recovery
+   reproduces the pre-crash state byte-for-byte);
+3. every ``checkpoint_every`` records, :meth:`maybe_checkpoint`
+   serializes the full population and truncates the log.
+
+Records and checkpoints reuse the portable formats of
+:mod:`repro.workloads.serialization`: a record is one trace event
+(``insert``/``update``/``delete`` plus a ``seq``), a checkpoint stores
+the ``population_to_json`` payload, so a WAL dump replays with the
+same tooling as any workload trace.
+
+:meth:`recover` rebuilds a fresh database: load the checkpoint
+population (in its serialized order — object registration order is
+part of the byte-identical contract), restore the clock, then replay
+the log tail through :meth:`MotionDatabase.apply_event`.
+
+Known limitation: recovery reconstructs *current* state.  A shard
+built with ``keep_history=True`` loses its pre-checkpoint archive on
+recovery — the checkpoint stores live motions, not superseded ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.engine import MotionDatabase
+from repro.workloads.serialization import (
+    population_from_json,
+    population_to_json,
+    trace_to_json,
+)
+
+#: One WAL record: a serialization.py trace event plus a "seq" key.
+WALRecord = Dict
+
+
+class ShardWAL:
+    """In-memory redo log + checkpoint for one shard.
+
+    All methods must be called under the owning shard's lock; the
+    service guarantees that, so the WAL itself carries no lock.
+    """
+
+    def __init__(self, checkpoint_every: int = 64) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.checkpoint_every = checkpoint_every
+        self._seq = 0
+        self._records: List[WALRecord] = []  # tail since last checkpoint
+        self._checkpoint: Optional[Dict] = None
+        self._appends = 0
+        self._checkpoints = 0
+        self._recoveries = 0
+
+    # -- logging ---------------------------------------------------------------
+
+    def append(self, kind: str, **fields: object) -> WALRecord:
+        """Log one committed operation; returns the record."""
+        self._seq += 1
+        record: WALRecord = {"seq": self._seq, "kind": kind}
+        record.update(fields)
+        self._records.append(record)
+        self._appends += 1
+        return record
+
+    def maybe_checkpoint(self, db: MotionDatabase) -> bool:
+        """Checkpoint when the log tail reached ``checkpoint_every``."""
+        if len(self._records) >= self.checkpoint_every:
+            self.checkpoint(db)
+            return True
+        return False
+
+    def checkpoint(self, db: MotionDatabase) -> None:
+        """Serialize the full population and truncate the log tail."""
+        self._checkpoint = {
+            "seq": self._seq,
+            "now": db.now,
+            "population": population_to_json(db.objects()),
+        }
+        self._records = []
+        self._checkpoints += 1
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(
+        self, factory: Callable[[], MotionDatabase]
+    ) -> MotionDatabase:
+        """Rebuild a fresh database: checkpoint load + log-tail replay.
+
+        The result answers every query byte-identically to the
+        database whose committed operations this WAL recorded.
+        """
+        db = factory()
+        if self._checkpoint is not None:
+            for obj in population_from_json(self._checkpoint["population"]):
+                db.register(obj.oid, obj.motion.y0, obj.motion.v,
+                            obj.motion.t0)
+            db.restore_clock(self._checkpoint["now"])
+        for record in self._records:
+            db.apply_event(record)
+        self._recoveries += 1
+        return db
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last appended record."""
+        return self._seq
+
+    def tail(self) -> List[WALRecord]:
+        """Records appended since the last checkpoint (a copy)."""
+        return list(self._records)
+
+    def tail_json(self) -> str:
+        """The log tail in the portable trace format."""
+        return trace_to_json(self._records)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "seq": self._seq,
+            "tail_records": len(self._records),
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_seq": (
+                self._checkpoint["seq"] if self._checkpoint else None
+            ),
+            "appends": self._appends,
+            "checkpoints": self._checkpoints,
+            "recoveries": self._recoveries,
+        }

@@ -40,6 +40,14 @@ class TestParser:
         assert main(["serve-bench", "--shards", "0"]) == 2
         assert "need at least 1 shard" in capsys.readouterr().err
 
+    def test_serve_bench_rejects_overwide_replication(self, capsys):
+        assert main(
+            ["serve-bench", "--shards", "2", "--replication", "3"]
+        ) == 2
+        assert "replication 3 exceeds shard count 2" in (
+            capsys.readouterr().err
+        )
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -73,6 +81,22 @@ class TestCommands:
         for column in ("p50_ms", "p99_ms", "avg_io", "io_per_op"):
             assert column in out
         assert "Per-shard load" in out
+
+    @pytest.mark.chaos
+    def test_serve_bench_chaos_smoke(self, capsys):
+        """Seeded chaos run: faults + replication 2 + differential
+        verification must exit 0 (zero lost updates, zero mismatches)."""
+        code = main([
+            "serve-bench",
+            "--n", "240", "--shards", "3", "--batches", "3",
+            "--updates", "24", "--queries", "12",
+            "--seed", "7", "--faults", "--replication", "2", "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fault tolerance" in out
+        assert "verification" in out
+        assert "errors" in out  # per-op failure column
 
     def test_figures_tiny(self, capsys, tmp_path):
         csv_dir = tmp_path / "csv"

@@ -16,6 +16,7 @@ from repro.errors import (
     InvalidQueryError,
     ObjectNotFoundError,
 )
+from repro.service import FaultTolerantMotionService, ShardedMotionService
 from repro.indexes import (
     DualKDTreeIndex,
     DualRTreeIndex,
@@ -98,3 +99,84 @@ class TestAtomicFailures:
         if len(index) < len(objects):
             index.insert(victim)
         assert_unharmed(index, objects, rng)
+
+
+# -- service-level atomicity -----------------------------------------------------
+
+SERVICE_FACTORIES = {
+    "sharded": lambda: ShardedMotionService(
+        1000.0, 0.16, 1.66, shards=3
+    ),
+    "fault-tolerant-r2": lambda: FaultTolerantMotionService(
+        1000.0, 0.16, 1.66, shards=3, replication_factor=2
+    ),
+}
+
+
+@pytest.fixture(
+    params=sorted(SERVICE_FACTORIES), ids=sorted(SERVICE_FACTORIES)
+)
+def loaded_service(request):
+    rng = random.Random(78)
+    service = SERVICE_FACTORIES[request.param]()
+    for oid in range(40):
+        service.register(
+            oid,
+            rng.uniform(0.0, 1000.0),
+            rng.uniform(0.16, 1.66) * rng.choice((-1.0, 1.0)),
+            0.0,
+        )
+    return service
+
+
+def menu_snapshot(service):
+    """Every shard's population plus the full query menu's answers —
+    the state that a rejected operation must leave untouched."""
+    return {
+        "len": len(service),
+        "populations": service.shard_populations(),
+        "within": service.within(100.0, 700.0, 2.0, 20.0),
+        "snapshot_at": service.snapshot_at(0.0, 500.0, 5.0),
+        "nearest": service.nearest(333.0, 8.0, k=5),
+        "pairs": service.proximity_pairs(10.0, 0.0, 15.0),
+    }
+
+
+class TestServiceAtomicFailures:
+    """The index-level contract lifted to the (replicated) service:
+    a rejected operation leaves every shard answering as before."""
+
+    def test_duplicate_register_leaves_all_shards(self, loaded_service):
+        before = menu_snapshot(loaded_service)
+        with pytest.raises(InvalidMotionError):
+            loaded_service.register(0, 400.0, 1.0, 3.0)
+        assert menu_snapshot(loaded_service) == before
+
+    def test_invalid_motion_register_leaves_all_shards(self, loaded_service):
+        before = menu_snapshot(loaded_service)
+        with pytest.raises(InvalidMotionError):
+            loaded_service.register(9999, 400.0, 99.0, 3.0)  # over-speed
+        assert menu_snapshot(loaded_service) == before
+        # The catalog rolled back too: the oid is still registerable.
+        loaded_service.register(9999, 400.0, 1.0, 3.0)
+        assert 9999 in loaded_service.within(0.0, 1000.0, 3.0, 10.0)
+
+    def test_missing_deregister_leaves_all_shards(self, loaded_service):
+        before = menu_snapshot(loaded_service)
+        with pytest.raises(ObjectNotFoundError):
+            loaded_service.deregister(424242)
+        assert menu_snapshot(loaded_service) == before
+
+    def test_missing_report_leaves_all_shards(self, loaded_service):
+        before = menu_snapshot(loaded_service)
+        with pytest.raises(ObjectNotFoundError):
+            loaded_service.report(424242, 100.0, 1.0, 5.0)
+        assert menu_snapshot(loaded_service) == before
+
+    def test_malformed_query_leaves_all_shards(self, loaded_service):
+        before = menu_snapshot(loaded_service)
+        with pytest.raises(InvalidQueryError):
+            loaded_service.within(700.0, 100.0, 2.0, 20.0)  # y1 > y2
+        with pytest.raises(InvalidQueryError):
+            loaded_service.within(100.0, 700.0, 20.0, 2.0)  # t1 > t2
+        assert menu_snapshot(loaded_service) == before
