@@ -1,15 +1,18 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke service-tests chaos-tests bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke service-tests chaos-tests subs-tests bench figures examples results clean
 
 install:
 	python setup.py develop
 
-# Fast sanity gate: everything must at least compile.
+# Sanity gate: compile + import, then the subscription layer's smoke
+# run and suites (incremental maintenance must match the naive oracle).
 check:
 	python -m compileall -q src
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		python -c "import repro, repro.service"
+	$(MAKE) subs-smoke
+	$(MAKE) subs-tests
 
 test: check service-smoke
 	pytest tests/
@@ -29,6 +32,20 @@ chaos-smoke:
 		python -m repro serve-bench --n 240 --shards 3 --batches 3 \
 		--updates 24 --queries 12 --seed 7 \
 		--faults --replication 2 --verify
+
+# Continuous-subscription smoke: standing queries maintained from
+# crossing events must answer exactly like naive per-tick
+# re-evaluation (exit 3 on divergence) at a fraction of the probes.
+subs-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --subscriptions --n 120 \
+		--shards 3 --subs 12 --ticks 6 --updates 20 --seed 5
+
+# The continuous-subscription suites alone (units, stateful
+# differential, concurrency churn, chaos recovery).
+subs-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m subscription
 
 # The service differential + concurrency + metrics suites alone.
 service-tests:

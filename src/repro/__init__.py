@@ -60,6 +60,7 @@ from repro.service import (
     BatchExecutor,
     MetricsRegistry,
     ShardedMotionService,
+    SubscriptionManager,
 )
 from repro.twod import (
     PlanarDecompositionIndex,
@@ -99,6 +100,7 @@ __all__ = [
     "SegmentRTreeIndex",
     "ShardedMotionService",
     "StaggeredMOR1Index",
+    "SubscriptionManager",
     "Terrain1D",
     "Terrain2D",
     "brute_force_1d",

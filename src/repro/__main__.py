@@ -146,6 +146,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import ServeBenchConfig, run_serve_bench
 
+    if args.subscriptions:
+        return _cmd_subscription_bench(args)
     config = ServeBenchConfig(
         n=args.n,
         shards=args.shards,
@@ -174,6 +176,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             "serve-bench: verification FAILED (lost updates or "
             f"mismatching answers): {report.verification}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_subscription_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --subscriptions``: standing queries, incremental
+    maintenance vs naive per-tick re-evaluation, differential-checked."""
+    from repro.service import (
+        SubscriptionBenchConfig,
+        run_subscription_bench,
+    )
+
+    config = SubscriptionBenchConfig(
+        n=args.n,
+        shards=args.shards,
+        subscriptions=args.subs,
+        proximity_subs=min(2, args.subs),
+        ticks=args.ticks,
+        updates_per_tick=args.updates,
+        horizon=args.horizon,
+        method=args.method,
+        router=args.router,
+        seed=args.seed,
+        replication=args.replication,
+        faults=args.faults,
+    )
+    try:
+        report = run_subscription_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.ok:
+        print(
+            "serve-bench: subscription results DIVERGED from the naive "
+            f"re-evaluation oracle: {report.mismatches[:10]}",
             file=sys.stderr,
         )
         return 3
@@ -250,6 +290,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="end with a differential check against a "
                             "faultless single database (exit 3 on "
                             "lost updates)")
+    serve.add_argument("--subscriptions", action="store_true",
+                       help="run the continuous-subscription bench: "
+                            "incremental maintenance vs naive per-tick "
+                            "re-evaluation, differential-checked every "
+                            "tick (exit 3 on divergence); --updates "
+                            "becomes reports per tick")
+    serve.add_argument("--subs", type=int, default=40,
+                       help="standing subscriptions "
+                            "(--subscriptions mode)")
+    serve.add_argument("--ticks", type=int, default=15,
+                       help="clock advances (--subscriptions mode)")
+    serve.add_argument("--horizon", type=float, default=8.0,
+                       help="sliding-window length for 'within' "
+                            "subscriptions (--subscriptions mode)")
     serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")

@@ -82,6 +82,9 @@ class MotionDatabase:
         self._history_enabled = keep_history
         self._motions: Dict[int, LinearMotion1D] = {}
         self._now = 0.0
+        self._update_listeners: List[
+            Callable[[str, int, Optional[LinearMotion1D]], None]
+        ] = []
 
     # -- registration and updates -------------------------------------------------
 
@@ -89,6 +92,25 @@ class MotionDatabase:
     def now(self) -> float:
         """The latest update timestamp seen."""
         return self._now
+
+    def attach_update_listener(
+        self, listener: Callable[[str, int, Optional[LinearMotion1D]], None]
+    ) -> None:
+        """Call ``listener(kind, oid, motion)`` after every applied
+        write; ``kind`` uses the trace dialect (``"insert"`` /
+        ``"update"`` / ``"delete"``, motion ``None`` for deletes).
+        Listeners run inside the write path and must not raise.
+        """
+        self._update_listeners.append(listener)
+
+    def detach_update_listener(self, listener) -> None:
+        self._update_listeners.remove(listener)
+
+    def _notify_update(
+        self, kind: str, oid: int, motion: Optional[LinearMotion1D]
+    ) -> None:
+        for listener in list(self._update_listeners):
+            listener(kind, oid, motion)
 
     def __len__(self) -> int:
         return len(self._motions)
@@ -115,6 +137,7 @@ class MotionDatabase:
         self._index.insert(MobileObject1D(oid, motion))
         self._motions[oid] = motion
         self._now = max(self._now, t0)
+        self._notify_update("insert", oid, motion)
 
     def report(self, oid: int, y0: float, v: float, t0: float) -> None:
         """Process a motion update from object ``oid`` (delete+insert)."""
@@ -124,6 +147,7 @@ class MotionDatabase:
         self._index.update(MobileObject1D(oid, motion))
         self._motions[oid] = motion
         self._now = max(self._now, t0)
+        self._notify_update("update", oid, motion)
 
     def deregister(self, oid: int) -> None:
         """Remove an object (it left the system)."""
@@ -134,6 +158,7 @@ class MotionDatabase:
         else:
             self._index.delete(oid)
         del self._motions[oid]
+        self._notify_update("delete", oid, None)
 
     def location_of(self, oid: int, t: float) -> float:
         """Extrapolated location of one object at time ``t``."""
@@ -184,6 +209,10 @@ class MotionDatabase:
             MobileObject1D(oid, motion)
             for oid, motion in self._motions.items()
         ]
+
+    def motion_snapshot(self) -> Dict[int, LinearMotion1D]:
+        """The current oid → motion map (a fresh dict)."""
+        return dict(self._motions)
 
     # -- queries --------------------------------------------------------------------
 

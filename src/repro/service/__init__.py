@@ -6,6 +6,10 @@
   :class:`FaultTolerantMotionService`, the replicated, crash-tolerant
   variant (failover, graceful degradation via :class:`PartialResult`,
   WAL recovery);
+* :mod:`repro.service.continuous` — :class:`SubscriptionManager`,
+  standing ``snapshot``/``within``/``proximity`` queries maintained
+  incrementally from boundary-crossing events (Lemma 3's closed-form
+  roots) instead of per-tick re-evaluation;
 * :mod:`repro.service.faults` — :class:`FaultInjector`, the seeded
   chaos layer (transient errors, latency spikes, crashes);
 * :mod:`repro.service.health` — :class:`CircuitBreaker` and
@@ -24,8 +28,17 @@
 from repro.service.bench import (
     ServeBenchConfig,
     ServeBenchReport,
+    SubscriptionBenchConfig,
+    SubscriptionBenchReport,
     build_service,
     run_serve_bench,
+    run_subscription_bench,
+)
+from repro.service.continuous import (
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionManager,
+    replay_deltas,
 )
 from repro.service.executor import (
     BatchExecutor,
@@ -82,10 +95,17 @@ __all__ = [
     "ShardWAL",
     "ShardedMotionService",
     "SnapshotAt",
+    "Subscription",
+    "SubscriptionBenchConfig",
+    "SubscriptionBenchReport",
+    "SubscriptionDelta",
+    "SubscriptionManager",
     "VelocityRouter",
     "Within",
     "build_service",
     "mix_oid",
     "op_class_name",
+    "replay_deltas",
     "run_serve_bench",
+    "run_subscription_bench",
 ]

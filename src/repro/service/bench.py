@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import Table
 from repro.engine import MotionDatabase
+from repro.errors import ShardUnavailableError
+from repro.service.continuous import SubscriptionManager, replay_deltas
 from repro.service.executor import (
     BatchExecutor,
     Nearest,
@@ -45,7 +47,7 @@ from repro.service.executor import (
 )
 from repro.service.faults import FaultInjector, FaultSpec
 from repro.service.health import RetryPolicy
-from repro.service.replication import FaultTolerantMotionService
+from repro.service.replication import FaultTolerantMotionService, PartialResult
 from repro.service.service import ShardedMotionService
 
 #: The paper's §5 motion parameters, reused as bench defaults.
@@ -475,4 +477,259 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
         stats=service.service_stats(),
         recoveries=recoveries,
         verification=verification,
+    )
+
+
+# -- continuous subscriptions: incremental vs naive re-evaluation ----------------
+
+
+@dataclass
+class SubscriptionBenchConfig:
+    """Parameters of one ``serve-bench --subscriptions`` run.
+
+    The default workload is sized so the probe-ratio target is not a
+    squeaker: ``subscriptions`` standing queries over ``ticks`` clock
+    advances put the naive side at ``subscriptions * ticks`` index
+    probes while the incremental side pays one probe per subscribe.
+    """
+
+    n: int = 300
+    shards: int = 4
+    subscriptions: int = 40
+    #: Of ``subscriptions``, how many are (quadratic) proximity joins.
+    proximity_subs: int = 2
+    ticks: int = 15
+    updates_per_tick: int = 40
+    horizon: float = 8.0
+    method: str = "forest"
+    router: str = "hash"
+    seed: int = 42
+    replication: int = 1
+    faults: bool = False
+
+
+@dataclass
+class SubscriptionBenchReport:
+    """Incremental-vs-naive accounting plus the differential verdict."""
+
+    config: SubscriptionBenchConfig
+    elapsed_incremental_s: float
+    elapsed_naive_s: float
+    checks: int
+    mismatches: List[str] = field(default_factory=list)
+    skipped_checks: int = 0
+    rejected_writes: int = 0
+    recoveries: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    manager_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def incremental_probes(self) -> int:
+        return int(self.counters.get("subscription_index_probes", 0))
+
+    @property
+    def naive_probes(self) -> int:
+        return int(self.counters.get("subscription_naive_probes", 0))
+
+    @property
+    def probe_ratio(self) -> float:
+        """How many times fewer index probes the incremental path made."""
+        return self.naive_probes / max(1, self.incremental_probes)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the incremental results never diverged from the
+        naive per-tick re-evaluation oracle."""
+        return not self.mismatches
+
+    def render(self) -> str:
+        c = self.config
+        band = c.subscriptions - c.proximity_subs
+        lines = [
+            (
+                f"subscription-bench: {c.subscriptions} standing queries "
+                f"({band} band / {c.proximity_subs} proximity) over "
+                f"{c.ticks} ticks, {c.n} objects, {c.shards} shards "
+                f"({c.router} router)"
+            ),
+            (
+                f"incremental: {self.counters.get('subscription_deltas_emitted', 0)} "
+                f"deltas from "
+                f"{self.counters.get('subscription_events_fired', 0)} events "
+                f"({self.counters.get('subscription_invalidations', 0)} "
+                f"invalidations), {self.incremental_probes} index probes, "
+                f"{self.elapsed_incremental_s:.3f}s"
+            ),
+            (
+                f"naive re-eval: {self.naive_probes} index probes, "
+                f"{self.elapsed_naive_s:.3f}s"
+            ),
+            (
+                f"index probes: naive={self.naive_probes} "
+                f"incremental={self.incremental_probes} "
+                f"({self.probe_ratio:.1f}x fewer)"
+            ),
+        ]
+        if self.config.faults or self.config.replication > 1:
+            lines.append(
+                f"chaos: {self.rejected_writes} rejected writes, "
+                f"{self.recoveries} recoveries, "
+                f"{self.skipped_checks} checks skipped while degraded"
+            )
+        verdict = "OK" if self.ok else "MISMATCH"
+        lines.append(
+            f"differential vs naive oracle: {verdict} — {self.checks} "
+            f"checks, {len(self.mismatches)} mismatches"
+            + (f" ({self.mismatches[:5]})" if self.mismatches else "")
+        )
+        return "\n".join(lines)
+
+
+def run_subscription_bench(
+    config: SubscriptionBenchConfig,
+) -> SubscriptionBenchReport:
+    """Drive standing subscriptions and their naive oracle side by side.
+
+    Every tick applies a burst of motion reports, advances the
+    subscription clock (the incremental path), then re-runs each
+    subscription's one-shot query against the same service (the naive
+    path) and requires three-way agreement: naive answer ==
+    incremental result set == the initial result replayed through the
+    emitted delta stream.
+    """
+    if config.n < 1:
+        raise ValueError(f"need at least 1 object, got n={config.n}")
+    if config.subscriptions < 1:
+        raise ValueError(
+            f"need at least 1 subscription, got {config.subscriptions}"
+        )
+    if not 0 <= config.proximity_subs <= config.subscriptions:
+        raise ValueError(
+            f"proximity_subs must be in [0, {config.subscriptions}], "
+            f"got {config.proximity_subs}"
+        )
+    if config.ticks < 1:
+        raise ValueError(f"need at least 1 tick, got {config.ticks}")
+    service = build_service(ServeBenchConfig(
+        n=config.n,
+        shards=config.shards,
+        updates_per_batch=config.updates_per_tick,
+        method=config.method,
+        router=config.router,
+        seed=config.seed,
+        replication=config.replication,
+        faults=config.faults,
+    ))
+    chaos = config.faults or config.replication > 1
+    rng = random.Random(config.seed)
+    rejected = 0
+    recoveries = 0
+
+    def random_motion(now: float) -> Tuple[float, float, float]:
+        speed = rng.uniform(DEFAULT_V_MIN, DEFAULT_V_MAX)
+        direction = 1 if rng.random() < 0.5 else -1
+        return (
+            rng.uniform(0.0, DEFAULT_Y_MAX),
+            direction * speed,
+            now + rng.uniform(0.0, 0.5),
+        )
+
+    def recover_down_shards() -> None:
+        nonlocal recoveries
+        if not isinstance(service, FaultTolerantMotionService):
+            return
+        for shard in service.down_shards():
+            service.recover_shard(shard)
+            recoveries += 1
+
+    oids = list(range(config.n))
+    for oid in oids:
+        y0, v, t0 = random_motion(0.0)
+        try:
+            service.register(oid, y0, v, 0.0)
+        except ShardUnavailableError:
+            if not chaos:
+                raise
+            rejected += 1
+    recover_down_shards()
+
+    manager = SubscriptionManager(service)
+    elapsed_incremental = 0.0
+    start = time.perf_counter()
+    sids: List[int] = []
+    for i in range(config.subscriptions):
+        if i < config.proximity_subs:
+            sids.append(manager.subscribe_proximity(rng.uniform(3.0, 12.0)))
+        else:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.85)
+            width = rng.uniform(0.05, 0.15) * DEFAULT_Y_MAX
+            if i % 2 == 0:
+                sids.append(manager.subscribe_snapshot(y1, y1 + width))
+            else:
+                sids.append(
+                    manager.subscribe_within(y1, y1 + width, config.horizon)
+                )
+    elapsed_incremental += time.perf_counter() - start
+
+    replayed: Dict[int, set] = {
+        sid: set(manager.result(sid)) for sid in sids
+    }
+    elapsed_naive = 0.0
+    checks = 0
+    skipped = 0
+    mismatches: List[str] = []
+
+    now = service.now
+    for tick in range(1, config.ticks + 1):
+        now += 1.0
+        for _ in range(config.updates_per_tick):
+            oid = rng.choice(oids)
+            y0, v, t0 = random_motion(now)
+            try:
+                if oid in service:
+                    service.report(oid, y0, v, t0)
+                else:
+                    service.register(oid, y0, v, t0)
+            except ShardUnavailableError:
+                if not chaos:
+                    raise
+                rejected += 1
+        if chaos:
+            recover_down_shards()
+        start = time.perf_counter()
+        manager.advance(now)
+        elapsed_incremental += time.perf_counter() - start
+        for sid in sids:
+            try:
+                replayed[sid] = replay_deltas(
+                    replayed[sid], manager.drain_deltas(sid)
+                )
+            except ValueError as exc:
+                mismatches.append(f"tick {tick} sub {sid}: replay {exc}")
+                replayed[sid] = set(manager.result(sid))
+            start = time.perf_counter()
+            naive = manager.reevaluate(sid)
+            elapsed_naive += time.perf_counter() - start
+            if isinstance(naive, PartialResult):
+                skipped += 1
+                continue
+            checks += 1
+            incremental = manager.result(sid)
+            if not (naive == incremental == replayed[sid]):
+                mismatches.append(f"tick {tick} sub {sid}: divergence")
+
+    counters = dict(manager.metrics.snapshot().get("counters", {}))
+    stats = manager.stats()
+    manager.close()
+    return SubscriptionBenchReport(
+        config=config,
+        elapsed_incremental_s=elapsed_incremental,
+        elapsed_naive_s=elapsed_naive,
+        checks=checks,
+        mismatches=mismatches,
+        skipped_checks=skipped,
+        rejected_writes=rejected,
+        recoveries=recoveries,
+        counters=counters,
+        manager_stats=stats,
     )

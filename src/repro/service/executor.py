@@ -134,6 +134,7 @@ class BatchExecutor:
             max_workers=max_workers or max(2, service.shard_count),
             thread_name_prefix="motion-batch",
         )
+        self._last_run_failed_ops: Dict[str, int] = {}
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -180,7 +181,27 @@ class BatchExecutor:
         }
         for position, future in query_futures.items():
             results[position] = future.result()
-        return [result for result in results if result is not None]
+        final = [result for result in results if result is not None]
+        # Rebuild the per-epoch failure view from this epoch's results
+        # alone.  The registry's failed_ops is cumulative across the
+        # executor's lifetime; reusing it per epoch would leak earlier
+        # epochs' failures into this epoch's errors column.
+        epoch_failures: Dict[str, int] = {}
+        for result in final:
+            if not result.ok:
+                name = op_class_name(result.op)
+                epoch_failures[name] = epoch_failures.get(name, 0) + 1
+        self._last_run_failed_ops = epoch_failures
+        return final
+
+    @property
+    def last_run_failed_ops(self) -> Dict[str, int]:
+        """Failed-op counts of the most recent ``run()`` only.
+
+        Empty after a clean epoch, even if earlier epochs failed —
+        contrast ``service.metrics.snapshot()["failed_ops"]``, the
+        cumulative caller-observed totals."""
+        return dict(self._last_run_failed_ops)
 
     def _shard_hint(self, op: UpdateOp) -> int:
         """Group key for the update phase: the op's routed shard.

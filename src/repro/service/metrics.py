@@ -139,6 +139,7 @@ class MetricsRegistry:
         self._ops: Dict[str, OperationMetrics] = {}
         self._shard_ops: Dict[Tuple[int, str], OperationMetrics] = {}
         self._failed_ops: Dict[str, int] = {}
+        self._counters: Dict[str, Counter] = {}
         self.live_io = IOStats()
         self._started = time.perf_counter()
 
@@ -158,6 +159,20 @@ class MetricsRegistry:
                 metrics = OperationMetrics(self._lock)
                 self._shard_ops[(shard, name)] = metrics
         return metrics
+
+    def counter(self, name: str) -> Counter:
+        """A named free-form counter, created on first use.
+
+        For subsystem events that are neither operations nor shard
+        I/O — e.g. the subscription layer's events-fired /
+        deltas-emitted / invalidation tallies.  All named counters
+        appear under ``snapshot()["counters"]``.
+        """
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(self._lock)
+        return counter
 
     def record_shard_io(self, shard: int, name: str, io: IOSnapshot) -> None:
         """Book one shard's share of an operation (zero latency)."""
@@ -206,6 +221,7 @@ class MetricsRegistry:
               "operations": {op: {calls, errors, p50_ms, p99_ms,
                                   avg_io, reads, writes, buffer_hits}},
               "failed_ops": {op: caller-observed failure count},
+              "counters": {name: value},     # free-form named counters
               "shards": {shard_id: {op: {...same keys...}}},
             }
         """
@@ -213,6 +229,10 @@ class MetricsRegistry:
             ops_view = dict(self._ops)
             shard_ops_view = dict(self._shard_ops)
             failed_view = dict(self._failed_ops)
+            counters_view = {
+                name: counter.value
+                for name, counter in self._counters.items()
+            }
         operations = {
             name: metrics.summary() for name, metrics in ops_view.items()
         }
@@ -228,6 +248,7 @@ class MetricsRegistry:
             },
             "operations": operations,
             "failed_ops": failed_view,
+            "counters": counters_view,
             "shards": shards,
         }
 

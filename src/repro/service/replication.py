@@ -324,6 +324,7 @@ class FaultTolerantMotionService(ShardedMotionService):
                         )
                     with self._catalog_lock:
                         self._catalog_motion[oid] = motion
+                    self._notify_update("insert", oid, motion)
             except Exception:
                 with self._catalog_lock:
                     self._owner.pop(oid, None)
@@ -385,6 +386,7 @@ class FaultTolerantMotionService(ShardedMotionService):
                     with self._catalog_lock:
                         self._owner[oid] = target
                         self._catalog_motion[oid] = motion
+                    self._notify_update("update", oid, motion)
                     return
 
     def deregister(self, oid: int) -> None:
@@ -412,6 +414,7 @@ class FaultTolerantMotionService(ShardedMotionService):
                 with self._catalog_lock:
                     self._owner.pop(oid, None)
                     self._catalog_motion.pop(oid, None)
+                self._notify_update("delete", oid, None)
 
     def location_of(self, oid: int, t: float) -> float:
         """Point lookup with replica failover."""
@@ -584,6 +587,12 @@ class FaultTolerantMotionService(ShardedMotionService):
 
     def down_shards(self) -> List[int]:
         return [n.shard_id for n in self._nodes if not n.up]
+
+    def motion_snapshot(self) -> Dict[int, LinearMotion1D]:
+        """Acknowledged oid → motion map, from the authoritative
+        catalog — well-defined even while replicas are down."""
+        with self._catalog_lock:
+            return dict(self._catalog_motion)
 
     def recover_shard(self, shard: int) -> Dict[str, object]:
         """Rebuild a dead shard: checkpoint + WAL replay, then catalog

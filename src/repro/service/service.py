@@ -115,6 +115,9 @@ class ShardedMotionService:
         self._locks = [threading.RLock() for _ in range(shards)]
         self._catalog_lock = threading.RLock()
         self._owner: Dict[int, int] = {}
+        self._update_listeners: List[
+            Callable[[str, int, Optional[LinearMotion1D]], None]
+        ] = []
 
     def _build_database(self) -> MotionDatabase:
         """One shard-sized database, metrics listener attached.
@@ -173,6 +176,39 @@ class ShardedMotionService:
         """Each shard's own update clock (monotone per shard)."""
         return [shard.now for shard in self._shards]
 
+    def motion_snapshot(self) -> Dict[int, LinearMotion1D]:
+        """The full oid → motion map across shards (a fresh dict)."""
+        snapshot: Dict[int, LinearMotion1D] = {}
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                snapshot.update(shard.motion_snapshot())
+        return snapshot
+
+    # -- update listeners --------------------------------------------------------
+
+    def attach_update_listener(
+        self, listener: Callable[[str, int, Optional[LinearMotion1D]], None]
+    ) -> None:
+        """Call ``listener(kind, oid, motion)`` after each acknowledged
+        write (``"insert"``/``"update"``/``"delete"``; motion is
+        ``None`` for deletes).  Delivery happens while the owning
+        shard's lock is still held, so per-object notifications arrive
+        in apply order — the guarantee
+        :class:`~repro.service.continuous.SubscriptionManager` builds
+        on.  Listeners therefore must be fast, must not raise, and
+        must never call back into the service.
+        """
+        self._update_listeners.append(listener)
+
+    def detach_update_listener(self, listener) -> None:
+        self._update_listeners.remove(listener)
+
+    def _notify_update(
+        self, kind: str, oid: int, motion: Optional[LinearMotion1D]
+    ) -> None:
+        for listener in list(self._update_listeners):
+            listener(kind, oid, motion)
+
     # -- updates ----------------------------------------------------------------
 
     def register(self, oid: int, y0: float, v: float, t0: float) -> None:
@@ -195,6 +231,7 @@ class ShardedMotionService:
                     span.add_shard_io(
                         target, self._shards[target].io_delta_since(before)
                     )
+                    self._notify_update("insert", oid, motion)
             except Exception:
                 with self._catalog_lock:
                     self._owner.pop(oid, None)
@@ -251,6 +288,7 @@ class ShardedMotionService:
                         )
                         with self._catalog_lock:
                             self._owner[oid] = target
+                    self._notify_update("update", oid, motion)
                     return
                 finally:
                     for shard in reversed(held):
@@ -271,6 +309,7 @@ class ShardedMotionService:
                 )
                 with self._catalog_lock:
                     del self._owner[oid]
+                self._notify_update("delete", oid, None)
 
     def location_of(self, oid: int, t: float) -> float:
         """Extrapolated location of one object at time ``t``."""

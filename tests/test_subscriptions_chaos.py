@@ -1,0 +1,207 @@
+"""Chaos: shard crashes mid-subscription, WAL recovery, reconciliation.
+
+Extends the ``test_failure_injection`` pattern to standing queries.
+The invariant under test: the subscription layer listens to
+*acknowledged* writes only, and recovery (checkpoint + WAL replay +
+catalog reconciliation) never changes acknowledged state — so after a
+crash and recovery the incremental result sets, the replayed delta
+streams, and the naive one-shot oracle must still agree exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidMotionError, ObjectNotFoundError, ShardUnavailableError
+from repro.service import (
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantMotionService,
+    PartialResult,
+    SubscriptionManager,
+    replay_deltas,
+)
+
+pytestmark = [pytest.mark.subscription, pytest.mark.chaos]
+
+Y_MAX, V_MIN, V_MAX = 1000.0, 0.16, 1.66
+N_OBJECTS = 60
+TICKS = 8
+UPDATES_PER_TICK = 15
+
+
+def random_motion(rng, now):
+    speed = rng.uniform(V_MIN, V_MAX)
+    return (
+        rng.uniform(0.0, Y_MAX),
+        speed if rng.random() < 0.5 else -speed,
+        now + rng.uniform(0.0, 0.5),
+    )
+
+
+def build_subscriptions(manager, rng):
+    subs = {}
+    for i in range(8):
+        y1 = rng.uniform(0.0, Y_MAX * 0.8)
+        y2 = y1 + rng.uniform(0.05, 0.2) * Y_MAX
+        if i % 2 == 0:
+            subs[manager.subscribe_snapshot(y1, y2)] = ("snapshot", (y1, y2))
+        else:
+            h = rng.uniform(2.0, 8.0)
+            subs[manager.subscribe_within(y1, y2, h)] = ("within", (y1, y2, h))
+    subs[manager.subscribe_proximity(rng.uniform(4.0, 12.0))] = (
+        "proximity", None
+    )
+    return subs
+
+
+def check_against_oracle(manager, subs, replayed, now):
+    """Three-way agreement, all shards up: naive == result == replay."""
+    for sid, (kind, params) in subs.items():
+        replayed[sid] = replay_deltas(
+            replayed[sid], manager.drain_deltas(sid)
+        )
+        naive = manager.reevaluate(sid)
+        assert not isinstance(naive, PartialResult), sid
+        result = manager.result(sid)
+        assert result == naive, (sid, kind, params, now)
+        assert replayed[sid] == naive, (sid, kind, params, now)
+
+
+def test_injected_crash_then_wal_recovery_reconciles_with_oracle():
+    """r=2: the injector crashes a shard mid-run; surviving replicas
+    keep acknowledging writes; after ``recover_shard`` the delta
+    streams reconcile exactly with the oracle."""
+    victim = 1
+    injector = FaultInjector(
+        seed=5, per_shard={victim: FaultSpec(crash_on_op=50)}
+    )
+    service = FaultTolerantMotionService(
+        Y_MAX, V_MIN, V_MAX, shards=3, replication_factor=2,
+        fault_injector=injector, checkpoint_every=16,
+    )
+    rng = random.Random(31)
+    for oid in range(N_OBJECTS):
+        y0, v, _ = random_motion(rng, 0.0)
+        service.register(oid, y0, v, 0.0)
+    assert service.down_shards() == []  # crash comes mid-subscription
+
+    manager = SubscriptionManager(service)
+    subs = build_subscriptions(manager, rng)
+    replayed = {sid: set(manager.result(sid)) for sid in subs}
+
+    crash_seen = False
+    recovered = False
+    now = 0.0
+    for _ in range(TICKS):
+        now += 1.0
+        for _ in range(UPDATES_PER_TICK):
+            oid = rng.randrange(N_OBJECTS)
+            y0, v, t0 = random_motion(rng, now)
+            # Write-all-live with r=2: every write still acknowledges
+            # while one shard of the group is down.
+            service.report(oid, y0, v, t0)
+        manager.advance(now)
+        if service.down_shards():
+            crash_seen = True
+            # Degraded, not raising: every subscription flags stale.
+            assert all(manager.is_stale(sid) for sid in subs)
+            # The incremental stream keeps flowing while degraded.
+            for sid in subs:
+                replayed[sid] = replay_deltas(
+                    replayed[sid], manager.drain_deltas(sid)
+                )
+                assert manager.result(sid) == replayed[sid]
+            for shard in service.down_shards():
+                report = service.recover_shard(shard)
+                assert report["shard"] == shard
+            recovered = True
+            manager.advance(now)  # re-probe health: stale clears
+            assert not any(manager.is_stale(sid) for sid in subs)
+        check_against_oracle(manager, subs, replayed, now)
+    assert crash_seen and recovered, "the fault plan never fired"
+    counters = manager.metrics.snapshot()["counters"]
+    assert counters["subscription_anomalies"] == 0
+    manager.close()
+
+
+def test_unreplicated_crash_degrades_then_reconciles():
+    """r=1: writes to the dead shard are rejected (not acknowledged),
+    so the subscription layer must track exactly the acknowledged
+    subset — and still match the oracle after recovery."""
+    service = FaultTolerantMotionService(
+        Y_MAX, V_MIN, V_MAX, shards=3, replication_factor=1,
+        checkpoint_every=16,
+    )
+    rng = random.Random(77)
+    for oid in range(N_OBJECTS):
+        y0, v, _ = random_motion(rng, 0.0)
+        service.register(oid, y0, v, 0.0)
+
+    manager = SubscriptionManager(service)
+    subs = build_subscriptions(manager, rng)
+    replayed = {sid: set(manager.result(sid)) for sid in subs}
+
+    victim = 2
+    rejected = 0
+    now = 0.0
+    for tick in range(TICKS):
+        now += 1.0
+        if tick == 2:
+            service.kill_shard(victim)
+        for _ in range(UPDATES_PER_TICK):
+            oid = rng.randrange(N_OBJECTS)
+            y0, v, t0 = random_motion(rng, now)
+            try:
+                service.report(oid, y0, v, t0)
+            except ShardUnavailableError:
+                rejected += 1
+        manager.advance(now)
+        degraded = bool(service.down_shards())
+        assert all(manager.is_stale(sid) == degraded for sid in subs)
+        if tick == 5:
+            service.recover_shard(victim)
+            manager.advance(now)
+            degraded = False
+        for sid in subs:
+            replayed[sid] = replay_deltas(
+                replayed[sid], manager.drain_deltas(sid)
+            )
+            assert manager.result(sid) == replayed[sid]
+        if not degraded:
+            check_against_oracle(manager, subs, replayed, now)
+    assert rejected > 0, "the dead shard never rejected a write"
+    counters = manager.metrics.snapshot()["counters"]
+    assert counters["subscription_anomalies"] == 0
+    manager.close()
+
+
+def test_rejected_operations_leave_subscriptions_untouched():
+    """The atomic-failure contract lifted to standing queries: a
+    rejected write emits no delta and changes no result set."""
+    service = FaultTolerantMotionService(
+        Y_MAX, V_MIN, V_MAX, shards=3, replication_factor=2
+    )
+    rng = random.Random(13)
+    for oid in range(20):
+        y0, v, _ = random_motion(rng, 0.0)
+        service.register(oid, y0, v, 0.0)
+    manager = SubscriptionManager(service)
+    subs = build_subscriptions(manager, rng)
+    manager.advance(3.0)
+    for sid in subs:
+        manager.drain_deltas(sid)
+    before = {sid: manager.result(sid) for sid in subs}
+
+    with pytest.raises(InvalidMotionError):
+        service.register(0, 400.0, 1.0, 3.0)  # duplicate
+    with pytest.raises(InvalidMotionError):
+        service.register(999, 400.0, 99.0, 3.0)  # over-speed
+    with pytest.raises(ObjectNotFoundError):
+        service.report(424242, 100.0, 1.0, 5.0)  # unknown
+    with pytest.raises(ObjectNotFoundError):
+        service.deregister(424242)
+
+    for sid in subs:
+        assert manager.result(sid) == before[sid]
+        assert manager.drain_deltas(sid) == []
