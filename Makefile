@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke service-tests chaos-tests subs-tests bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,8 @@ check:
 		python -c "import repro, repro.service"
 	$(MAKE) subs-smoke
 	$(MAKE) subs-tests
+	$(MAKE) batch-smoke
+	$(MAKE) batch-tests
 
 test: check service-smoke
 	pytest tests/
@@ -40,6 +42,29 @@ subs-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		python -m repro serve-bench --subscriptions --n 120 \
 		--shards 3 --subs 12 --ticks 6 --updates 20 --seed 5
+
+# Batched-query smoke: the vectorized batch path must answer
+# byte-identically to the scalar loop over the same seeded workload
+# (exit 3 on any divergence) while being several times faster.
+batch-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --batch --n 1500 --queries 300 \
+		--shards 3 --batch-size 100 --seed 5
+
+# The vectorized kernel / columnar store / batch-query suites alone
+# (property-based scalar agreement, cache semantics, executor and
+# fault-tolerance integration).
+batch-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m batch
+
+# Regenerate the committed batch-throughput baseline at the
+# acceptance scale (10k objects, 1k queries).
+batch-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --batch --n 10000 --queries 1000 \
+		--shards 4 --batch-size 250 --seed 42 \
+		--batch-json benchmarks/results/BENCH_batch.json
 
 # The continuous-subscription suites alone (units, stateful
 # differential, concurrency churn, chaos recovery).

@@ -14,6 +14,7 @@ ranges.  `EXPERIMENTS.md` records the mapping.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -53,6 +54,9 @@ def save_table(name: str, table: Table, title: str) -> str:
 
     When every data cell is numeric an ASCII bar chart is appended to
     the saved file (the terminal stand-in for the paper's line plots).
+    A machine-readable ``BENCH_{name}.json`` twin is written next to
+    the ``.txt`` so result trajectories can be diffed across PRs
+    without parsing rendered tables.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     rendered = table.render(title)
@@ -65,6 +69,16 @@ def save_table(name: str, table: Table, title: str) -> str:
         handle.write(rendered + "\n")
         if chart:
             handle.write("\n" + chart + "\n")
+    payload = {
+        "name": name,
+        "title": title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+    }
+    json_path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return rendered
 
 

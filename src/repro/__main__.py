@@ -148,6 +148,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.subscriptions:
         return _cmd_subscription_bench(args)
+    if args.batch:
+        return _cmd_batch_bench(args)
     config = ServeBenchConfig(
         n=args.n,
         shards=args.shards,
@@ -176,6 +178,39 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             "serve-bench: verification FAILED (lost updates or "
             f"mismatching answers): {report.verification}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_batch_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --batch``: scalar vs vectorized query throughput,
+    with byte-level differential verification of every answer pair."""
+    from repro.service.batch_bench import BatchBenchConfig, run_batch_bench
+
+    config = BatchBenchConfig(
+        n=args.n,
+        queries=args.queries,
+        shards=args.shards,
+        batch_size=args.batch_size,
+        method=args.method,
+        router=args.router,
+        seed=args.seed,
+        json_path=args.batch_json,
+    )
+    try:
+        report = run_batch_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.batch_json:
+        print(f"wrote {args.batch_json}")
+    if not report.ok:
+        print(
+            "serve-bench: vector results DIVERGED from the scalar path "
+            f"at query indices {report.divergences[:10]}",
             file=sys.stderr,
         )
         return 3
@@ -290,6 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="end with a differential check against a "
                             "faultless single database (exit 3 on "
                             "lost updates)")
+    serve.add_argument("--batch", action="store_true",
+                       help="run the batch-query bench: scalar vs "
+                            "vectorized kernel throughput on the same "
+                            "query stream, every answer pair compared "
+                            "(exit 3 on divergence); --n/--queries "
+                            "size the workload")
+    serve.add_argument("--batch-size", type=int, default=250,
+                       help="queries per query_batch call "
+                            "(--batch mode)")
+    serve.add_argument("--batch-json", metavar="PATH", default=None,
+                       help="dump the machine-readable batch report "
+                            "to PATH (--batch mode)")
     serve.add_argument("--subscriptions", action="store_true",
                        help="run the continuous-subscription bench: "
                             "incremental maintenance vs naive per-tick "

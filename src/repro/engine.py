@@ -35,6 +35,14 @@ from repro.indexes.dual_point import DualKDTreeIndex
 from repro.indexes.hough_y_forest import HoughYForestIndex
 from repro.indexes.hybrid import HybridIndex
 from repro.io_sim.stats import IOSnapshot
+from repro.vector import HAVE_NUMPY
+from repro.vector.ops import (
+    Nearest,
+    ProximityPairs,
+    QueryOp,
+    SnapshotAt,
+    Within,
+)
 
 #: Named method factories accepted by :class:`MotionDatabase`.
 METHOD_FACTORIES: Dict[str, Callable[[MotionModel], MobileIndex1D]] = {
@@ -57,6 +65,12 @@ class MotionDatabase:
         ``"kdtree"`` (§3.5.1), or pass ``index_factory`` directly.
     keep_history:
         Archive superseded motions and enable :meth:`query_past`.
+    vector:
+        Maintain a columnar mirror of the population and answer
+        :meth:`query_batch` with the vectorized kernels of
+        :mod:`repro.vector` (default).  With ``vector=False`` — or
+        when ``numpy`` is unavailable — batches fall back to the
+        scalar per-query path with identical results.
     """
 
     def __init__(
@@ -67,6 +81,7 @@ class MotionDatabase:
         method: str = "forest",
         index_factory: Optional[Callable[[MotionModel], MobileIndex1D]] = None,
         keep_history: bool = False,
+        vector: bool = True,
     ) -> None:
         self.model = MotionModel(Terrain1D(y_max), v_min, v_max)
         factory = index_factory or METHOD_FACTORIES.get(method)
@@ -85,6 +100,12 @@ class MotionDatabase:
         self._update_listeners: List[
             Callable[[str, int, Optional[LinearMotion1D]], None]
         ] = []
+        self._columns = None
+        if vector and HAVE_NUMPY:
+            from repro.vector.columns import MotionColumns
+
+            self._columns = MotionColumns()
+            self.attach_update_listener(self._columns.as_listener())
 
     # -- registration and updates -------------------------------------------------
 
@@ -262,6 +283,56 @@ class MotionDatabase:
         return index_distance_join(
             outer, self._index, self._motions.__getitem__, d, t1, t2
         )
+
+    # -- batch queries --------------------------------------------------------------
+
+    @property
+    def vector_enabled(self) -> bool:
+        """Whether the columnar fast path is active."""
+        return self._columns is not None
+
+    def query_batch(self, queries: List[QueryOp]) -> List:
+        """Answer a batch of read operations in one call.
+
+        Accepts the :mod:`repro.vector.ops` vocabulary (``Within`` /
+        ``SnapshotAt`` / ``Nearest`` / ``ProximityPairs``) and returns
+        one result per operation, in order, with the same container
+        conventions as the scalar methods.  With the columnar mirror
+        active the whole batch is answered by vectorized kernels over
+        one consistent view of the population; otherwise each
+        operation takes the scalar path.  Either way the answers are
+        identical — the batch API changes throughput, not semantics.
+        """
+        if self._columns is not None:
+            from repro.vector.evaluate import evaluate_batch
+
+            return evaluate_batch(self._columns, queries)
+        return self._query_batch_scalar(queries)
+
+    def _query_batch_scalar(self, queries: List[QueryOp]) -> List:
+        """Scalar fallback: per-index batch for ranges, loops elsewhere."""
+        results: List = [None] * len(queries)
+        mor_slots: List[int] = []
+        mor_queries: List[MORQuery1D] = []
+        for i, op in enumerate(queries):
+            if isinstance(op, Within):
+                mor_slots.append(i)
+                mor_queries.append(MORQuery1D(op.y1, op.y2, op.t1, op.t2))
+            elif isinstance(op, SnapshotAt):
+                mor_slots.append(i)
+                mor_queries.append(MOR1Query(op.y1, op.y2, op.t).as_mor())
+            elif isinstance(op, Nearest):
+                results[i] = self.nearest(op.y, op.t, op.k)
+            elif isinstance(op, ProximityPairs):
+                results[i] = self.proximity_pairs(op.d, op.t1, op.t2)
+            else:
+                raise TypeError(f"unknown query operation {op!r}")
+        if mor_queries:
+            for slot, answer in zip(
+                mor_slots, self._index.query_batch(mor_queries)
+            ):
+                results[slot] = answer
+        return results
 
     def query_past(
         self, y1: float, y2: float, t1: float, t2: float

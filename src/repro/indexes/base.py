@@ -52,6 +52,19 @@ class MobileIndex1D(abc.ABC):
         self.delete(obj.oid)
         self.insert(obj)
 
+    def query_batch(
+        self, queries: Sequence[MORQuery1D]
+    ) -> List[Set[int]]:
+        """Answer many MOR queries in one call.
+
+        The default is the scalar loop, so every index participates in
+        the batch API; implementations with a columnar mirror override
+        this with a kernel invocation.  Answers must be elementwise
+        identical to :meth:`query` — the batch paths are differential-
+        tested against the scalar paths.
+        """
+        return [self.query(query) for query in queries]
+
     @abc.abstractmethod
     def __len__(self) -> int:
         """Number of objects currently indexed."""

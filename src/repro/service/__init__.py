@@ -25,6 +25,11 @@
   workload (``--faults --replication --verify`` for chaos runs).
 """
 
+from repro.service.batch_bench import (
+    BatchBenchConfig,
+    BatchBenchReport,
+    run_batch_bench,
+)
 from repro.service.bench import (
     ServeBenchConfig,
     ServeBenchReport,
@@ -70,6 +75,8 @@ from repro.service.sharding import (
 from repro.service.wal import ShardWAL
 
 __all__ = [
+    "BatchBenchConfig",
+    "BatchBenchReport",
     "BatchExecutor",
     "CircuitBreaker",
     "Counter",
@@ -106,6 +113,7 @@ __all__ = [
     "mix_oid",
     "op_class_name",
     "replay_deltas",
+    "run_batch_bench",
     "run_serve_bench",
     "run_subscription_bench",
 ]

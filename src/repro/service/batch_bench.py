@@ -1,0 +1,282 @@
+"""The ``serve-bench --batch`` workload: scalar vs vectorized queries.
+
+Measures exactly the claim the vector layer makes: the same query
+stream, against the same populated service, answered two ways —
+
+* the **scalar leg**: one service call per query (`within` /
+  `snapshot_at` / `nearest` / `proximity_pairs`), each a per-shard
+  Python-loop evaluation;
+* the **vector leg**: the stream chunked into batches of
+  ``batch_size`` and pushed through
+  :meth:`~repro.service.service.ShardedMotionService.query_batch` —
+  one columnar kernel invocation per shard per batch, with the
+  memoizing :class:`~repro.vector.cache.QueryResultCache` in front.
+
+Every answer pair is compared with ``==`` (sets and ranked lists are
+byte-comparable by construction); any divergence is reported and the
+CLI exits nonzero (exit code 3), so the speedup number can never hide
+a wrong answer.  A ``repeat_fraction`` of the stream re-asks earlier
+queries, exercising the cache the way a polling front-end would.
+
+The report renders human-readable and dumps machine-readable JSON
+(``BENCH_batch.json``) for trajectory tracking across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.bench import (
+    DEFAULT_V_MAX,
+    DEFAULT_V_MIN,
+    DEFAULT_Y_MAX,
+    ServeBenchConfig,
+    build_service,
+)
+from repro.service.service import ShardedMotionService
+from repro.vector.ops import (
+    Nearest,
+    ProximityPairs,
+    QueryOp,
+    SnapshotAt,
+    Within,
+)
+
+
+@dataclass
+class BatchBenchConfig:
+    """Parameters of one ``serve-bench --batch`` run (all seeded)."""
+
+    n: int = 10000
+    queries: int = 1000
+    shards: int = 4
+    batch_size: int = 250
+    method: str = "forest"
+    router: str = "hash"
+    seed: int = 42
+    #: Fraction of the stream that repeats an earlier query verbatim
+    #: (dashboard-poll traffic); this is what the result cache eats.
+    repeat_fraction: float = 0.2
+    #: Proximity joins to append to the stream (0 by default: they are
+    #: quadratic and would dominate the range/kNN timing story).
+    proximity_queries: int = 0
+    #: Where to dump the machine-readable report; ``None`` skips.
+    json_path: Optional[str] = None
+
+
+@dataclass
+class BatchBenchReport:
+    """Scalar-vs-vector timings, divergences and cache counters."""
+
+    config: BatchBenchConfig
+    scalar_s: float
+    vector_s: float
+    query_count: int
+    op_counts: Dict[str, int]
+    divergences: List[int] = field(default_factory=list)
+    cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_s / self.vector_s if self.vector_s > 0 else 0.0
+
+    @property
+    def scalar_qps(self) -> float:
+        return self.query_count / self.scalar_s if self.scalar_s > 0 else 0.0
+
+    @property
+    def vector_qps(self) -> float:
+        return self.query_count / self.vector_s if self.vector_s > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": "batch",
+            "config": asdict(self.config),
+            "queries": self.query_count,
+            "op_counts": dict(self.op_counts),
+            "scalar": {
+                "elapsed_s": round(self.scalar_s, 6),
+                "throughput_qps": round(self.scalar_qps, 1),
+            },
+            "vector": {
+                "elapsed_s": round(self.vector_s, 6),
+                "throughput_qps": round(self.vector_qps, 1),
+            },
+            "speedup": round(self.speedup, 2),
+            "divergences": len(self.divergences),
+            "cache": dict(self.cache),
+        }
+
+    def render(self) -> str:
+        c = self.config
+        mix = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.op_counts.items())
+        )
+        lines = [
+            (
+                f"batch-bench: {self.query_count} queries ({mix}) over "
+                f"{c.n} objects, {c.shards} shards ({c.router} router), "
+                f"batch size {c.batch_size}, repeat fraction "
+                f"{c.repeat_fraction:.0%}"
+            ),
+            (
+                f"scalar: {self.scalar_s:.3f}s — "
+                f"{self.scalar_qps:,.0f} queries/s"
+            ),
+            (
+                f"vector: {self.vector_s:.3f}s — "
+                f"{self.vector_qps:,.0f} queries/s"
+            ),
+            f"speedup: {self.speedup:.1f}x",
+            (
+                f"cache: {self.cache.get('hits', 0)} hits / "
+                f"{self.cache.get('misses', 0)} misses / "
+                f"{self.cache.get('invalidations', 0)} invalidations / "
+                f"{self.cache.get('evictions', 0)} evictions "
+                f"({self.cache.get('entries', 0)} resident)"
+            ),
+        ]
+        if self.ok:
+            lines.append(
+                f"differential verification: OK — {self.query_count} "
+                f"result pairs byte-identical"
+            )
+        else:
+            sample = self.divergences[:10]
+            lines.append(
+                f"differential verification: MISMATCH — "
+                f"{len(self.divergences)} of {self.query_count} diverge "
+                f"(first at query indices {sample})"
+            )
+        return "\n".join(lines)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def build_queries(
+    rng: random.Random, config: BatchBenchConfig
+) -> List[QueryOp]:
+    """The seeded query stream: range/snapshot/kNN mix plus repeats."""
+    stream: List[QueryOp] = []
+    for q in range(config.queries):
+        if (
+            stream
+            and config.repeat_fraction > 0
+            and rng.random() < config.repeat_fraction
+        ):
+            stream.append(rng.choice(stream))
+            continue
+        t1 = rng.uniform(1.0, 10.0)
+        kind = q % 3
+        if kind == 0:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.85)
+            stream.append(Within(
+                y1, y1 + DEFAULT_Y_MAX * 0.1, t1, t1 + rng.uniform(1.0, 20.0)
+            ))
+        elif kind == 1:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.9)
+            stream.append(SnapshotAt(y1, y1 + DEFAULT_Y_MAX * 0.05, t1))
+        else:
+            stream.append(Nearest(
+                rng.uniform(0.0, DEFAULT_Y_MAX), t1, k=rng.randint(1, 8)
+            ))
+    for _ in range(config.proximity_queries):
+        t1 = rng.uniform(0.0, 3.0)
+        stream.append(ProximityPairs(
+            DEFAULT_Y_MAX / 200.0, t1, t1 + 5.0
+        ))
+    return stream
+
+
+def _run_scalar(service: ShardedMotionService, op: QueryOp):
+    if isinstance(op, Within):
+        return service.within(op.y1, op.y2, op.t1, op.t2)
+    if isinstance(op, SnapshotAt):
+        return service.snapshot_at(op.y1, op.y2, op.t)
+    if isinstance(op, Nearest):
+        return service.nearest(op.y, op.t, op.k)
+    if isinstance(op, ProximityPairs):
+        return service.proximity_pairs(op.d, op.t1, op.t2)
+    raise TypeError(f"unknown query operation {op!r}")
+
+
+def run_batch_bench(config: BatchBenchConfig) -> BatchBenchReport:
+    """Populate one service, run both legs, compare every answer."""
+    if config.n < 1:
+        raise ValueError(f"need at least 1 object, got n={config.n}")
+    if config.queries < 1:
+        raise ValueError(
+            f"need at least 1 query, got queries={config.queries}"
+        )
+    if config.batch_size < 1:
+        raise ValueError(
+            f"batch_size must be >= 1, got {config.batch_size}"
+        )
+    rng = random.Random(config.seed)
+    service = build_service(ServeBenchConfig(
+        n=config.n,
+        shards=config.shards,
+        method=config.method,
+        router=config.router,
+        seed=config.seed,
+    ))
+    for oid in range(config.n):
+        speed = rng.uniform(DEFAULT_V_MIN, DEFAULT_V_MAX)
+        direction = 1 if rng.random() < 0.5 else -1
+        service.register(
+            oid, rng.uniform(0.0, DEFAULT_Y_MAX), direction * speed, 0.0
+        )
+
+    stream = build_queries(rng, config)
+    op_counts: Dict[str, int] = {}
+    for op in stream:
+        name = type(op).__name__
+        op_counts[name] = op_counts.get(name, 0) + 1
+
+    # Scalar leg: one service call per query.
+    start = time.perf_counter()
+    scalar_answers = [_run_scalar(service, op) for op in stream]
+    scalar_s = time.perf_counter() - start
+
+    # Vector leg: same stream, chunked through query_batch.
+    vector_answers: List = []
+    start = time.perf_counter()
+    for begin in range(0, len(stream), config.batch_size):
+        vector_answers.extend(
+            service.query_batch(stream[begin:begin + config.batch_size])
+        )
+    vector_s = time.perf_counter() - start
+
+    divergences = [
+        i
+        for i, (got, want) in enumerate(zip(vector_answers, scalar_answers))
+        if got != want
+    ]
+    cache = (
+        service.query_cache.stats()
+        if service.query_cache is not None
+        else {}
+    )
+    report = BatchBenchReport(
+        config=config,
+        scalar_s=scalar_s,
+        vector_s=vector_s,
+        query_count=len(stream),
+        op_counts=op_counts,
+        divergences=divergences,
+        cache=cache,
+    )
+    if config.json_path:
+        report.write_json(config.json_path)
+    return report

@@ -33,8 +33,20 @@ from typing import Dict, List, Optional, Union
 from repro.core.model import LinearMotion1D
 from repro.errors import ObjectNotFoundError
 from repro.service.service import ShardedMotionService
+from repro.vector.ops import (  # noqa: F401  (historical home, re-exported)
+    Nearest,
+    ProximityPairs,
+    QueryOp,
+    SnapshotAt,
+    Within,
+)
 
 # -- operation types ------------------------------------------------------------
+#
+# The query half of the vocabulary (Within / SnapshotAt / Nearest /
+# ProximityPairs) lives in :mod:`repro.vector.ops` so the engine's and
+# the service's batch paths can share it; it is re-exported above
+# under its historical names.  The update half is service-level only.
 
 
 @dataclass(frozen=True)
@@ -58,37 +70,7 @@ class Deregister:
     oid: int
 
 
-@dataclass(frozen=True)
-class Within:
-    y1: float
-    y2: float
-    t1: float
-    t2: float
-
-
-@dataclass(frozen=True)
-class SnapshotAt:
-    y1: float
-    y2: float
-    t: float
-
-
-@dataclass(frozen=True)
-class Nearest:
-    y: float
-    t: float
-    k: int = 1
-
-
-@dataclass(frozen=True)
-class ProximityPairs:
-    d: float
-    t1: float
-    t2: float
-
-
 UpdateOp = Union[Register, Report, Deregister]
-QueryOp = Union[Within, SnapshotAt, Nearest, ProximityPairs]
 Operation = Union[UpdateOp, QueryOp]
 
 
@@ -122,14 +104,23 @@ class BatchExecutor:
     max_workers:
         Thread-pool width; defaults to the service's shard count
         (one in-flight task per shard is the natural parallelism).
+    batch_queries:
+        When true, the query phase of each epoch is pushed down as a
+        single :meth:`ShardedMotionService.query_batch` call (one
+        kernel invocation per shard, result cache in front) instead
+        of one pool task per query.  Results are identical; an error
+        raised by the batch call falls back to per-operation
+        execution so containment semantics are preserved.
     """
 
     def __init__(
         self,
         service: ShardedMotionService,
         max_workers: Optional[int] = None,
+        batch_queries: bool = False,
     ) -> None:
         self.service = service
+        self.batch_queries = batch_queries
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers or max(2, service.shard_count),
             thread_name_prefix="motion-batch",
@@ -175,12 +166,28 @@ class BatchExecutor:
         for future in update_futures:
             future.result()  # barrier; group errors are per-op, see _apply
 
-        query_futures = {
-            position: self._pool.submit(self._apply, batch[position])
-            for position in queries
-        }
-        for position, future in query_futures.items():
-            results[position] = future.result()
+        if self.batch_queries and queries:
+            query_ops = [batch[position] for position in queries]
+            try:
+                values = self.service.query_batch(query_ops)
+            except Exception:
+                # One bad operation (or a service without the batch
+                # API) must not poison the epoch: re-run the phase
+                # with per-operation containment.
+                for position in queries:
+                    results[position] = self._apply(batch[position])
+            else:
+                for position, value in zip(queries, values):
+                    results[position] = OpResult(
+                        op=batch[position], value=value
+                    )
+        else:
+            query_futures = {
+                position: self._pool.submit(self._apply, batch[position])
+                for position in queries
+            }
+            for position, future in query_futures.items():
+                results[position] = future.result()
         final = [result for result in results if result is not None]
         # Rebuild the per-epoch failure view from this epoch's results
         # alone.  The registry's failed_ops is cumulative across the

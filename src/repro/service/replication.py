@@ -66,6 +66,13 @@ from repro.service.health import CircuitBreaker, RetryPolicy
 from repro.service.metrics import MetricsRegistry
 from repro.service.service import ShardedMotionService, ShardRouter
 from repro.service.wal import ShardWAL
+from repro.vector.ops import (
+    Nearest,
+    ProximityPairs,
+    QueryOp,
+    SnapshotAt,
+    Within,
+)
 
 UP = "up"
 DOWN = "down"
@@ -577,6 +584,35 @@ class FaultTolerantMotionService(ShardedMotionService):
                             if a != b
                         }
             return self._degrade("proximity_pairs", pairs, set(answered))
+
+    def query_batch(self, ops: List[QueryOp]) -> List:
+        """Batch reads with the base fast path only while fully healthy.
+
+        With no fault injector armed and every shard up, shard
+        push-down cannot be interrupted mid-batch, so the base
+        implementation (one kernel invocation per shard, result cache
+        in front) is used as-is — its keyed k-NN merge already
+        collapses replica duplicates.  Otherwise each operation takes
+        the scalar query path, which carries the full fault machinery
+        (retries, breakers, failover, :class:`PartialResult`
+        degradation); degraded answers bypass the result cache so a
+        partial answer is never replayed after recovery.
+        """
+        if self._injector is None and not self.down_shards():
+            return super().query_batch(ops)
+        results: List = []
+        for op in ops:
+            if isinstance(op, Within):
+                results.append(self.within(op.y1, op.y2, op.t1, op.t2))
+            elif isinstance(op, SnapshotAt):
+                results.append(self.snapshot_at(op.y1, op.y2, op.t))
+            elif isinstance(op, Nearest):
+                results.append(self.nearest(op.y, op.t, op.k))
+            elif isinstance(op, ProximityPairs):
+                results.append(self.proximity_pairs(op.d, op.t1, op.t2))
+            else:
+                raise TypeError(f"unknown query operation {op!r}")
+        return results
 
     # -- failure administration --------------------------------------------------
 

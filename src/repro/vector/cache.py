@@ -1,0 +1,227 @@
+"""Versioned memoization of batch query results.
+
+A serving workload repeats queries: dashboards poll the same band,
+dispatchers re-rank the same k-NN probe, retries re-ask what just
+timed out.  :class:`QueryResultCache` memoizes the answers of the
+batch query path keyed by the query itself (see
+:func:`repro.vector.ops.query_key`) plus a *clock bucket*, and keeps
+the entries exactly consistent with the write stream by per-object
+invalidation:
+
+* the cache observes every acknowledged write through the same
+  ``attach_update_listener`` hook the subscription layer uses, in
+  per-object apply order;
+* an entry is dropped only when the written object can actually
+  change its answer — it is in the cached result, or its new motion
+  satisfies the cached query (for k-NN: would rank at or above the
+  current ``k``-th candidate).  Writes that provably cannot affect an
+  entry leave it warm.
+
+That is the same closed-form reasoning the
+:class:`~repro.service.continuous.SubscriptionManager` applies to its
+standing results, specialised to drop-on-touch instead of repair —
+dropped entries are simply recomputed by the next batch.
+
+The optional ``clock_bucket`` quantizes lookups in time: an entry
+written in bucket ``floor(now / clock_bucket)`` is invisible from any
+other bucket, bounding reuse across epochs for operators who want
+freshness guarantees coarser than exact invalidation.  The default
+(``None``) is a single bucket — correctness then rests entirely on
+the per-object invalidation, which is exact.
+
+Hit / miss / invalidation / eviction tallies go to named counters in
+a :class:`~repro.service.metrics.MetricsRegistry`
+(``query_cache_hits`` etc.), so ``service_stats()`` surfaces cache
+effectiveness next to the per-operation table.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.model import LinearMotion1D
+from repro.core.predicates import matches_1d, matches_mor1
+from repro.core.queries import MOR1Query, MORQuery1D
+from repro.vector.ops import (
+    Nearest,
+    ProximityPairs,
+    QueryOp,
+    SnapshotAt,
+    Within,
+    query_key,
+)
+
+#: Default maximum resident entries (LRU beyond this).
+DEFAULT_CAPACITY = 1024
+
+
+class QueryResultCache:
+    """LRU result cache with exact per-object write invalidation."""
+
+    def __init__(
+        self,
+        metrics=None,
+        capacity: int = DEFAULT_CAPACITY,
+        clock_bucket: Optional[float] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if clock_bucket is not None and clock_bucket <= 0:
+            raise ValueError(
+                f"clock_bucket must be positive, got {clock_bucket}"
+            )
+        if metrics is None:
+            from repro.service.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.capacity = capacity
+        self.clock_bucket = clock_bucket
+        self._lock = threading.Lock()
+        # key -> (op, value); ordered oldest-first for LRU.
+        self._entries: "OrderedDict[Tuple, Tuple[QueryOp, object]]" = (
+            OrderedDict()
+        )
+        self._hits = metrics.counter("query_cache_hits")
+        self._misses = metrics.counter("query_cache_misses")
+        self._invalidations = metrics.counter("query_cache_invalidations")
+        self._evictions = metrics.counter("query_cache_evictions")
+
+    # -- keying ----------------------------------------------------------------
+
+    def _bucket(self, now: float) -> int:
+        if self.clock_bucket is None:
+            return 0
+        return int(math.floor(now / self.clock_bucket))
+
+    # -- lookup / store --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, op: QueryOp, now: float = 0.0) -> Tuple[bool, object]:
+        """``(hit, value)`` for one query at clock ``now``.
+
+        Returned containers are fresh copies, so callers may mutate
+        them without corrupting the cached original.
+        """
+        key = query_key(op, self._bucket(now))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses.increment()
+                return (False, None)
+            self._entries.move_to_end(key)
+            self._hits.increment()
+            return (True, copy_result(entry[1]))
+
+    def put(self, op: QueryOp, value: object, now: float = 0.0) -> None:
+        """Memoize one computed answer (evicting LRU beyond capacity)."""
+        key = query_key(op, self._bucket(now))
+        with self._lock:
+            self._entries[key] = (op, copy_result(value))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions.increment()
+
+    def clear(self) -> None:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations.increment(dropped)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "invalidations": self._invalidations.value,
+            "evictions": self._evictions.value,
+        }
+
+    # -- write invalidation ----------------------------------------------------
+
+    def on_update(
+        self, kind: str, oid: int, motion: Optional[LinearMotion1D]
+    ) -> None:
+        """Update-listener hook: drop exactly the affected entries.
+
+        Runs inside the service write path (shard locks held), so it
+        must be fast, must not raise, and never calls back into the
+        service — it only touches its own table.
+        """
+        with self._lock:
+            doomed: List[Tuple] = [
+                key
+                for key, (op, value) in self._entries.items()
+                if _affected(op, value, kind, oid, motion)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations.increment(len(doomed))
+
+
+def copy_result(value: object) -> object:
+    if isinstance(value, set):
+        return set(value)
+    if isinstance(value, frozenset):
+        return frozenset(value)
+    if isinstance(value, list):
+        return list(value)
+    return value
+
+
+def _affected(
+    op: QueryOp,
+    value: object,
+    kind: str,
+    oid: int,
+    motion: Optional[LinearMotion1D],
+) -> bool:
+    """Can the write ``(kind, oid, motion)`` change this cached answer?
+
+    Sound over-approximation: answers ``True`` whenever the write
+    *could* matter, and ``False`` only with a proof it cannot —
+    membership in the cached result covers every effect of the
+    object's superseded motion (if the old motion contributed, the
+    object is in the answer), and the predicates below cover the new
+    motion.
+    """
+    if isinstance(op, (Within, SnapshotAt)):
+        result: Set[int] = value  # type: ignore[assignment]
+        if oid in result:
+            return True
+        if motion is None:
+            return False  # deleted and never contributed
+        if isinstance(op, Within):
+            return matches_1d(
+                motion, MORQuery1D(op.y1, op.y2, op.t1, op.t2)
+            )
+        return matches_mor1(motion, MOR1Query(op.y1, op.y2, op.t))
+    if isinstance(op, Nearest):
+        ranked: List[Tuple[int, float]] = value  # type: ignore[assignment]
+        if any(member == oid for member, _ in ranked):
+            return True
+        if motion is None:
+            # A short answer lists the whole population, so a deleted
+            # object not in it never existed here; a full answer's
+            # non-members rank strictly below the k-th and removing
+            # one cannot promote anyone.
+            return False
+        if len(ranked) < op.k:
+            return True  # population was short of k: newcomer enters
+        distance = abs(motion.position(op.t) - op.y)
+        return distance <= ranked[-1][1]  # could displace the k-th
+    if isinstance(op, ProximityPairs):
+        pairs: Set[Tuple[int, int]] = value  # type: ignore[assignment]
+        if motion is not None:
+            return True  # a moved/new object can create pairs anywhere
+        return any(oid in pair for pair in pairs)
+    return True  # unknown op shape: be safe

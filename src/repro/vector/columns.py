@@ -1,0 +1,159 @@
+"""Structure-of-arrays columnar store for motion populations.
+
+Every dual-space predicate of the paper's practical methods (§3.5) is
+a few arithmetic comparisons per object, so evaluating them one object
+at a time in Python spends almost all of its cycles on interpreter
+overhead.  :class:`MotionColumns` keeps the live population as four
+contiguous ``numpy`` arrays — ``oid``/``y0``/``v``/``t0``, one row per
+object — so the kernels in :mod:`repro.vector.kernels` can answer a
+query over the whole population with a handful of vectorized passes.
+
+The store is a *mirror*, not an index: it is kept in sync with a
+:class:`~repro.engine.MotionDatabase` through the update-listener
+write hook (``attach_update_listener``), never queried for exact
+per-object state the owner already has.  Deletes swap the last row
+into the hole so the arrays stay dense (kernels never see tombstones);
+row order is therefore arbitrary, which is fine because every batch
+result is a set or an explicitly re-ranked list.
+
+``version`` increments on every mutation — the invalidation signal
+the versioned query cache (:mod:`repro.vector.cache`) listens to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import LinearMotion1D
+
+#: Initial array capacity (doubles on overflow).
+_MIN_CAPACITY = 16
+
+
+class MotionColumns:
+    """Dense columnar ``(oid, y0, v, t0)`` mirror of a population."""
+
+    __slots__ = ("_oid", "_y0", "_v", "_t0", "_n", "_slots", "version")
+
+    def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
+        capacity = max(int(capacity), _MIN_CAPACITY)
+        self._oid = np.empty(capacity, dtype=np.int64)
+        self._y0 = np.empty(capacity, dtype=np.float64)
+        self._v = np.empty(capacity, dtype=np.float64)
+        self._t0 = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+        self._slots: Dict[int, int] = {}
+        self.version = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_motions(
+        cls, motions: Dict[int, LinearMotion1D]
+    ) -> "MotionColumns":
+        """Bulk-build from an oid → motion map."""
+        columns = cls(capacity=len(motions) or _MIN_CAPACITY)
+        for oid, motion in motions.items():
+            columns.upsert(oid, motion)
+        return columns
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._slots
+
+    def motion_of(self, oid: int) -> LinearMotion1D:
+        """The stored motion of one object (KeyError when absent)."""
+        slot = self._slots[oid]
+        return LinearMotion1D(
+            float(self._y0[slot]), float(self._v[slot]), float(self._t0[slot])
+        )
+
+    def motions(self) -> Iterator[Tuple[int, LinearMotion1D]]:
+        """Iterate ``(oid, motion)`` in (arbitrary) row order."""
+        for oid in list(self._slots):
+            yield oid, self.motion_of(oid)
+
+    def arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Views ``(oid, y0, v, t0)`` over the live rows.
+
+        The views alias the store's buffers: treat them as read-only
+        and do not hold them across a mutation.
+        """
+        n = self._n
+        return (self._oid[:n], self._y0[:n], self._v[:n], self._t0[:n])
+
+    # -- mutation -------------------------------------------------------------
+
+    def _grow(self) -> None:
+        capacity = 2 * self._oid.shape[0]
+        for name in ("_oid", "_y0", "_v", "_t0"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            setattr(self, name, fresh)
+
+    def upsert(self, oid: int, motion: LinearMotion1D) -> None:
+        """Insert a new row or overwrite the existing one for ``oid``."""
+        slot = self._slots.get(oid)
+        if slot is None:
+            if self._n == self._oid.shape[0]:
+                self._grow()
+            slot = self._n
+            self._n += 1
+            self._slots[oid] = slot
+            self._oid[slot] = oid
+        self._y0[slot] = motion.y0
+        self._v[slot] = motion.v
+        self._t0[slot] = motion.t0
+        self.version += 1
+
+    def delete(self, oid: int) -> None:
+        """Drop a row, keeping the arrays dense (swap-with-last)."""
+        slot = self._slots.pop(oid, None)
+        if slot is None:
+            return
+        last = self._n - 1
+        if slot != last:
+            moved = int(self._oid[last])
+            self._oid[slot] = self._oid[last]
+            self._y0[slot] = self._y0[last]
+            self._v[slot] = self._v[last]
+            self._t0[slot] = self._t0[last]
+            self._slots[moved] = slot
+        self._n = last
+        self.version += 1
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._n = 0
+        self.version += 1
+
+    # -- write-hook integration ----------------------------------------------
+
+    def as_listener(
+        self,
+    ) -> Callable[[str, int, Optional[LinearMotion1D]], None]:
+        """An ``attach_update_listener``-compatible sync hook.
+
+        Handles the trace dialect (``"insert"``/``"update"`` carry the
+        new motion, ``"delete"`` carries ``None``) and never raises —
+        the listener contract of the write path.
+        """
+
+        def listener(
+            kind: str, oid: int, motion: Optional[LinearMotion1D]
+        ) -> None:
+            if kind == "delete" or motion is None:
+                self.delete(oid)
+            else:
+                self.upsert(oid, motion)
+
+        return listener

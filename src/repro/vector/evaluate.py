@@ -1,0 +1,65 @@
+"""Dispatch batch query operations onto the vectorized kernels.
+
+:func:`evaluate_batch` is the single entry point the engine's and the
+service's batch paths share: it unpacks a :class:`MotionColumns`
+mirror once, then answers every operation in the batch with whole-
+array kernel passes.  Results use the exact container conventions of
+the scalar API — ``set`` of python ints for range queries, ranked
+``[(oid, distance), ...]`` for k-NN, a ``set`` of unordered int pairs
+for proximity — so callers (and the differential harness) can compare
+them to the scalar answers with plain ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.queries import MORQuery1D
+from repro.errors import InvalidQueryError
+from repro.vector.columns import MotionColumns
+from repro.vector.kernels import (
+    knn_distances,
+    knn_select,
+    mor_mask,
+    proximity_pairs_blocked,
+    snapshot_mask,
+)
+from repro.vector.ops import Nearest, ProximityPairs, QueryOp, SnapshotAt, Within
+
+
+def _oids_from_mask(oid: np.ndarray, mask: np.ndarray) -> Set[int]:
+    return {int(x) for x in oid[mask]}
+
+
+def evaluate_query(columns: MotionColumns, op: QueryOp):
+    """Answer one query operation against the columnar mirror."""
+    oid, y0, v, t0 = columns.arrays()
+    if isinstance(op, Within):
+        query = MORQuery1D(op.y1, op.y2, op.t1, op.t2)
+        return _oids_from_mask(oid, mor_mask(y0, v, t0, query))
+    if isinstance(op, SnapshotAt):
+        return _oids_from_mask(
+            oid, snapshot_mask(y0, v, t0, op.y1, op.y2, op.t)
+        )
+    if isinstance(op, Nearest):
+        if op.k <= 0:
+            # Same contract as the scalar knn_at.
+            raise InvalidQueryError(f"k must be positive, got {op.k}")
+        return knn_select(oid, knn_distances(y0, v, t0, op.y, op.t), op.k)
+    if isinstance(op, ProximityPairs):
+        if op.d < 0:
+            # Same contracts as the scalar index_distance_join/min_gap.
+            raise InvalidQueryError(f"distance must be >= 0, got {op.d}")
+        if op.t1 > op.t2:
+            raise InvalidQueryError(f"empty window [{op.t1}, {op.t2}]")
+        return proximity_pairs_blocked(oid, y0, v, t0, op.d, op.t1, op.t2)
+    raise TypeError(f"unknown query operation {op!r}")
+
+
+def evaluate_batch(
+    columns: MotionColumns, ops: Sequence[QueryOp]
+) -> List:
+    """Answer a whole batch against one consistent view of the store."""
+    return [evaluate_query(columns, op) for op in ops]

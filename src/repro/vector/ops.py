@@ -1,0 +1,77 @@
+"""Query-operation vocabulary shared by the batch paths.
+
+These dataclasses are the wire format of one *read* request: the batch
+executor groups them into epochs, ``MotionDatabase.query_batch`` and
+``ShardedMotionService.query_batch`` evaluate lists of them in one
+kernel invocation, and the versioned result cache keys on them.  They
+live here — below both the engine and the service layer — so that
+``repro.engine`` can accept them without importing ``repro.service``
+(which imports the engine).  ``repro.service.executor`` re-exports
+them under their historical names, so existing callers are untouched.
+
+This module must stay importable without ``numpy``: only the kernels
+need the array stack, the vocabulary does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class Within:
+    """MOR query: objects in ``[y1, y2]`` sometime in ``[t1, t2]``."""
+
+    y1: float
+    y2: float
+    t1: float
+    t2: float
+
+
+@dataclass(frozen=True)
+class SnapshotAt:
+    """Instant query: objects in ``[y1, y2]`` exactly at ``t``."""
+
+    y1: float
+    y2: float
+    t: float
+
+
+@dataclass(frozen=True)
+class Nearest:
+    """The ``k`` objects nearest to ``y`` at time ``t``."""
+
+    y: float
+    t: float
+    k: int = 1
+
+
+@dataclass(frozen=True)
+class ProximityPairs:
+    """Unordered pairs coming within ``d`` during ``[t1, t2]``."""
+
+    d: float
+    t1: float
+    t2: float
+
+
+QueryOp = Union[Within, SnapshotAt, Nearest, ProximityPairs]
+
+
+def query_key(op: QueryOp, bucket: int = 0) -> Tuple:
+    """Canonical hashable cache key for one query operation.
+
+    ``bucket`` is the clock bucket the lookup happens in (see
+    :class:`repro.vector.cache.QueryResultCache`); entries written in
+    one bucket are not visible from another.
+    """
+    if isinstance(op, Within):
+        return ("within", op.y1, op.y2, op.t1, op.t2, bucket)
+    if isinstance(op, SnapshotAt):
+        return ("snapshot_at", op.y1, op.y2, op.t, bucket)
+    if isinstance(op, Nearest):
+        return ("nearest", op.y, op.t, op.k, bucket)
+    if isinstance(op, ProximityPairs):
+        return ("proximity_pairs", op.d, op.t1, op.t2, bucket)
+    raise TypeError(f"unknown query operation {op!r}")
