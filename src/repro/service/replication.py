@@ -588,8 +588,7 @@ class FaultTolerantMotionService(ShardedMotionService):
     def query_batch(self, ops: List[QueryOp]) -> List:
         """Batch reads with the base fast path only while fully healthy.
 
-        With no fault injector armed and every shard up, shard
-        push-down cannot be interrupted mid-batch, so the base
+        With no fault injector armed and every shard up, the base
         implementation (one kernel invocation per shard, result cache
         in front) is used as-is — its keyed k-NN merge already
         collapses replica duplicates.  Otherwise each operation takes
@@ -597,10 +596,27 @@ class FaultTolerantMotionService(ShardedMotionService):
         (retries, breakers, failover, :class:`PartialResult`
         degradation); degraded answers bypass the result cache so a
         partial answer is never replayed after recovery.
+
+        A concurrent :meth:`kill_shard` can land *mid*-fast-path, in
+        which case the just-computed answers may include reads from a
+        shard already marked down.  Two guards keep the documented
+        cache property — degraded answers never reach the result
+        cache — intact: ``kill_shard`` bumps the cache's generation
+        floor, so every put in flight at the kill is discarded rather
+        than stored; and health is re-checked after the fast path
+        returns, falling back to the per-operation degraded path (with
+        its :class:`PartialResult` accounting) when it changed.  A
+        kill that lands strictly after the re-check only invalidates
+        answers that were computed wholly while the shard was still
+        up, which is a legal pre-crash linearization.  (The injector
+        is fixed at construction, so only shard health can change
+        mid-batch.)
         """
         if self._injector is None and not self.down_shards():
-            return super().query_batch(ops)
-        results: List = []
+            results = super().query_batch(ops)
+            if not self.down_shards():
+                return results
+        results = []
         for op in ops:
             if isinstance(op, Within):
                 results.append(self.within(op.y1, op.y2, op.t1, op.t2))
@@ -617,9 +633,18 @@ class FaultTolerantMotionService(ShardedMotionService):
     # -- failure administration --------------------------------------------------
 
     def kill_shard(self, shard: int, reason: str = "operator kill") -> None:
-        """Simulate an abrupt shard death (tests and chaos drills)."""
+        """Simulate an abrupt shard death (tests and chaos drills).
+
+        Floors the result cache's write generation: any batch whose
+        shard fan-out overlaps the kill may have read this shard
+        after it died, so its pending puts are discarded instead of
+        memoized (see :meth:`query_batch`).  Entries already resident
+        were computed while the shard was up and stay valid.
+        """
         with self._locks[shard]:
             self._nodes[shard].mark_down(reason)
+        if self.query_cache is not None:
+            self.query_cache.bump_generation()
 
     def down_shards(self) -> List[int]:
         return [n.shard_id for n in self._nodes if not n.up]

@@ -456,6 +456,14 @@ class ShardedMotionService:
         ``ProximityPairs`` operations need cross-shard candidate
         exchange and are delegated to :meth:`proximity_pairs`; they
         still participate in the cache.
+
+        Metrics caveat: with the columnar mirror active the pushed-down
+        batch is answered by in-memory kernels that never touch the
+        simulated disk pages, so the ``query_batch`` span's per-shard
+        I/O is near zero by construction.  It is **not comparable** to
+        the scalar operations' ``shard_io`` — use wall-clock throughput
+        (``serve-bench --batch``) to compare the two legs, not I/O
+        counts.
         """
         with self.metrics.span("query_batch") as span:
             for op in ops:
@@ -475,10 +483,22 @@ class ShardedMotionService:
                 misses.setdefault(op, []).append(i)
             if misses:
                 pending = list(misses)
+                # Snapshot the write generation before touching any
+                # shard: a write landing mid-compute cannot invalidate
+                # an entry that is not resident yet, so put() replays
+                # the writes since this point against each computed
+                # answer and drops the ones they could have changed.
+                generation = (
+                    self.query_cache.generation()
+                    if self.query_cache is not None
+                    else 0
+                )
                 computed = self._compute_batch(pending, span)
                 for op, value in zip(pending, computed):
                     if self.query_cache is not None:
-                        self.query_cache.put(op, value, now)
+                        self.query_cache.put(
+                            op, value, now, generation=generation
+                        )
                     slots = misses[op]
                     results[slots[0]] = value
                     for slot in slots[1:]:  # duplicates get fresh copies
@@ -549,6 +569,10 @@ class ShardedMotionService:
                 ...
               ],
             }
+
+        Note that the ``query_batch`` row's ``shard_io`` reflects the
+        columnar fast path (no simulated index I/O), so it does not
+        compare against the scalar rows' I/O; see :meth:`query_batch`.
         """
         shard_state = []
         for i, shard in enumerate(self._shards):

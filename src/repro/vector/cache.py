@@ -22,6 +22,22 @@ That is the same closed-form reasoning the
 standing results, specialised to drop-on-touch instead of repair —
 dropped entries are simply recomputed by the next batch.
 
+Invalidation alone is not enough under concurrency: a result computed
+*outside* the cache lock can be overtaken by a write that lands after
+the shards were read but before :meth:`put` runs — the write's
+``on_update`` finds nothing to drop (the entry is not resident yet)
+and the stale answer would then be inserted and served until the next
+touching write.  The cache therefore carries a **generation counter**,
+bumped by every observed write: callers snapshot it
+(:meth:`generation`) before computing and hand it back to
+:meth:`put`, which replays the writes logged in between against the
+candidate entry and drops it (``query_cache_stale_puts``) if any
+could have changed the answer.  The write log is bounded
+(``WRITE_LOG_WINDOW``); a compute that out-lives the window is
+rejected conservatively.  :meth:`bump_generation` lets the service
+veto every in-flight put without a per-object record — the
+fault-tolerant layer uses it when a shard dies mid-batch.
+
 The optional ``clock_bucket`` quantizes lookups in time: an entry
 written in bucket ``floor(now / clock_bucket)`` is invisible from any
 other bucket, bounding reuse across epochs for operators who want
@@ -39,8 +55,8 @@ from __future__ import annotations
 
 import math
 import threading
-from collections import OrderedDict
-from typing import Dict, List, Optional, Set, Tuple
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.model import LinearMotion1D
 from repro.core.predicates import matches_1d, matches_mor1
@@ -56,6 +72,10 @@ from repro.vector.ops import (
 
 #: Default maximum resident entries (LRU beyond this).
 DEFAULT_CAPACITY = 1024
+
+#: Writes remembered for validating in-flight puts.  A put whose
+#: compute window saw more writes than this is dropped conservatively.
+WRITE_LOG_WINDOW = 256
 
 
 class QueryResultCache:
@@ -85,10 +105,20 @@ class QueryResultCache:
         self._entries: "OrderedDict[Tuple, Tuple[QueryOp, object]]" = (
             OrderedDict()
         )
+        # Monotone write clock.  Each observed write appends
+        # (generation, kind, oid, motion) so puts can replay what
+        # happened during their compute window; _floor marks events
+        # (clear, shard death) that veto every older in-flight put.
+        self._generation = 0
+        self._floor = 0
+        self._write_log: Deque[
+            Tuple[int, str, int, Optional[LinearMotion1D]]
+        ] = deque(maxlen=WRITE_LOG_WINDOW)
         self._hits = metrics.counter("query_cache_hits")
         self._misses = metrics.counter("query_cache_misses")
         self._invalidations = metrics.counter("query_cache_invalidations")
         self._evictions = metrics.counter("query_cache_evictions")
+        self._stale_puts = metrics.counter("query_cache_stale_puts")
 
     # -- keying ----------------------------------------------------------------
 
@@ -96,6 +126,51 @@ class QueryResultCache:
         if self.clock_bucket is None:
             return 0
         return int(math.floor(now / self.clock_bucket))
+
+    # -- generations -----------------------------------------------------------
+
+    def generation(self) -> int:
+        """The current write generation, for handing to :meth:`put`.
+
+        Snapshot this *before* reading the shards; every write the
+        cache observes afterwards bumps it, so :meth:`put` can tell
+        whether the computed answer may already be stale.
+        """
+        with self._lock:
+            return self._generation
+
+    def bump_generation(self) -> None:
+        """Veto every in-flight put without a per-object write record.
+
+        For invalidation events the update stream cannot describe —
+        e.g. a shard marked down mid-batch — after which any result
+        computed before the event must not be memoized.
+        """
+        with self._lock:
+            self._generation += 1
+            self._floor = self._generation
+
+    def _fresh(self, op: QueryOp, value: object, generation: int) -> bool:
+        """Whether a value computed at ``generation`` is still current.
+
+        Caller holds the lock.  Replays the writes logged since the
+        snapshot against the candidate entry; sound because ``True``
+        needs proof (every intervening write provably irrelevant, the
+        same :func:`_affected` test used for resident entries) and
+        anything unprovable — log window overrun, a floor event —
+        answers ``False``.
+        """
+        if generation == self._generation:
+            return True
+        if generation < self._floor:
+            return False
+        missed = self._generation - generation
+        if missed > len(self._write_log):
+            return False
+        for gen, kind, oid, motion in list(self._write_log)[-missed:]:
+            if _affected(op, value, kind, oid, motion):
+                return False
+        return True
 
     # -- lookup / store --------------------------------------------------------
 
@@ -119,10 +194,31 @@ class QueryResultCache:
             self._hits.increment()
             return (True, copy_result(entry[1]))
 
-    def put(self, op: QueryOp, value: object, now: float = 0.0) -> None:
-        """Memoize one computed answer (evicting LRU beyond capacity)."""
+    def put(
+        self,
+        op: QueryOp,
+        value: object,
+        now: float = 0.0,
+        generation: Optional[int] = None,
+    ) -> None:
+        """Memoize one computed answer (evicting LRU beyond capacity).
+
+        ``generation`` is the :meth:`generation` snapshot taken before
+        the value was computed.  When given, writes observed since are
+        replayed against the candidate and a possibly-stale value is
+        dropped instead of stored (``query_cache_stale_puts``) —
+        without it a write racing the compute would invalidate nothing
+        (the entry is not resident yet) and the stale answer would be
+        served until the next touching write.  ``None`` skips the
+        check, for callers who know no writer can race them.
+        """
         key = query_key(op, self._bucket(now))
         with self._lock:
+            if generation is not None and not self._fresh(
+                op, value, generation
+            ):
+                self._stale_puts.increment()
+                return
             self._entries[key] = (op, copy_result(value))
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -130,10 +226,13 @@ class QueryResultCache:
                 self._evictions.increment()
 
     def clear(self) -> None:
+        """Drop everything, resident and in flight (floors the clock)."""
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
             self._invalidations.increment(dropped)
+            self._generation += 1
+            self._floor = self._generation
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
@@ -144,6 +243,7 @@ class QueryResultCache:
             "misses": self._misses.value,
             "invalidations": self._invalidations.value,
             "evictions": self._evictions.value,
+            "stale_puts": self._stale_puts.value,
         }
 
     # -- write invalidation ----------------------------------------------------
@@ -158,6 +258,8 @@ class QueryResultCache:
         service — it only touches its own table.
         """
         with self._lock:
+            self._generation += 1
+            self._write_log.append((self._generation, kind, oid, motion))
             doomed: List[Tuple] = [
                 key
                 for key, (op, value) in self._entries.items()

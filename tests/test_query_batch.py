@@ -8,6 +8,7 @@ invalidations, evictions and degraded modes.
 """
 
 import random
+import threading
 
 import pytest
 
@@ -225,7 +226,123 @@ class TestServiceBatch:
             service.query_batch(["within"])
 
 
-# -- fault-tolerant service ----------------------------------------------------
+# -- concurrency: batches racing the write stream ------------------------------
+
+
+class TestBatchConcurrency:
+    """The cache's write-race guarantee under real thread interleaving.
+
+    A result computed outside the cache lock can be overtaken by a
+    write before ``put`` runs; without the generation guard the write
+    invalidates nothing (the entry is not resident yet) and the stale
+    answer is served forever.  These tests hammer exactly that window
+    and then check the post-quiescence batch answers — including the
+    purely-cached second round — differentially against the scalar
+    path.
+    """
+
+    ROUNDS = 6
+    WRITERS = 3
+    READERS = 2
+
+    def churn(self, service, ops, kill=None):
+        """Run writer churn against a repeated-batch reader storm.
+
+        Returns the list of exceptions raised inside worker threads
+        (must be empty).  ``kill`` is an optional zero-arg callable run
+        once from its own thread mid-storm (e.g. a shard kill).
+        """
+        errors = []
+        start = threading.Barrier(
+            self.WRITERS + self.READERS + (1 if kill else 0)
+        )
+
+        def writer_loop(writer):
+            # Update timestamps stay below every query instant
+            # (mixed_ops uses t >= 5): the MOR model defines queries
+            # at or after an object's latest update — instants before
+            # it are the historical regime (query_past), where the
+            # index path is not answerable and batch/scalar may
+            # legitimately differ.
+            rng = random.Random(500 + writer)
+            try:
+                start.wait()
+                for round_no in range(self.ROUNDS):
+                    t0 = 0.5 + round_no * 0.5 + writer / 10.0
+                    for slot in range(writer, 60, self.WRITERS):
+                        y0 = rng.uniform(0, Y_MAX)
+                        v = rng.uniform(V_MIN, V_MAX) * rng.choice(
+                            [1.0, -1.0]
+                        )
+                        service.report(slot, y0, v, t0)
+                    extra = 1000 + writer
+                    service.register(extra, rng.uniform(0, Y_MAX), V_MIN, t0)
+                    service.deregister(extra)
+            except Exception as exc:  # pragma: no cover - reporting
+                errors.append(exc)
+
+        def reader_loop(reader):
+            try:
+                start.wait()
+                for _ in range(self.ROUNDS * 3):
+                    results = service.query_batch(ops)
+                    assert len(results) == len(ops)
+            except Exception as exc:  # pragma: no cover - reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer_loop, args=(w,))
+            for w in range(self.WRITERS)
+        ] + [
+            threading.Thread(target=reader_loop, args=(r,))
+            for r in range(self.READERS)
+        ]
+        if kill is not None:
+
+            def kill_loop():
+                try:
+                    start.wait()
+                    kill()
+                except Exception as exc:  # pragma: no cover - reporting
+                    errors.append(exc)
+
+            threads.append(threading.Thread(target=kill_loop))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return errors
+
+    def test_batch_cache_consistent_after_write_churn(self):
+        service = ShardedMotionService(Y_MAX, V_MIN, V_MAX, shards=3)
+        rng = populate(service)
+        ops = mixed_ops(rng, count=25)
+        assert self.churn(service, ops) == []
+        # Post-quiescence the batch path must agree with the scalar
+        # path — twice: the first call may recompute dropped entries,
+        # the second is answered largely from the cache and would
+        # surface any stale value a racing put managed to store.
+        expected = scalar_answers(service, ops)
+        assert service.query_batch(ops) == expected
+        assert service.query_batch(ops) == expected
+        stats = service.query_cache.stats()
+        assert stats["misses"] > 0  # the storm actually exercised it
+
+    def test_kill_mid_storm_then_recovery_stays_consistent(self):
+        service = FaultTolerantMotionService(
+            Y_MAX, V_MIN, V_MAX, shards=3, replication_factor=2
+        )
+        rng = populate(service)
+        ops = mixed_ops(rng, count=15)
+        # replication_factor=2 keeps every write and query answerable
+        # with one shard down, so no thread may fail.
+        assert self.churn(
+            service, ops, kill=lambda: service.kill_shard(1)
+        ) == []
+        service.recover_shard(1)
+        expected = scalar_answers(service, ops)
+        assert service.query_batch(ops) == expected
+        assert service.query_batch(ops) == expected
 
 
 class TestFaultTolerantBatch:
@@ -342,6 +459,67 @@ class TestQueryResultCache:
         assert cache.get(op, now=0.0)[0]
         cache.on_update("delete", 1, None)
         assert not cache.get(op, now=0.0)[0]
+
+    def test_stale_put_dropped_when_racing_write_affects_it(self):
+        # The TOCTOU window: the write lands after the value was
+        # computed but before put — invalidation finds nothing (the
+        # entry is not resident yet), so put itself must refuse.
+        from repro.core import LinearMotion1D
+
+        cache = QueryResultCache()
+        op = Within(0.0, 10.0, 0.0, 1.0)
+        gen = cache.generation()
+        cache.on_update("insert", 7, LinearMotion1D(5.0, 0.0, 0.0))
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert not cache.get(op, now=0.0)[0]
+        assert cache.stats()["stale_puts"] == 1
+
+    def test_stale_put_kept_when_racing_write_is_irrelevant(self):
+        from repro.core import LinearMotion1D
+
+        cache = QueryResultCache()
+        op = Within(0.0, 10.0, 0.0, 1.0)
+        gen = cache.generation()
+        cache.on_update("insert", 7, LinearMotion1D(900.0, 0.0, 0.0))
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert cache.get(op, now=0.0)[0]
+        assert cache.stats()["stale_puts"] == 0
+
+    def test_bump_generation_floors_inflight_puts(self):
+        cache = QueryResultCache()
+        op = Within(0.0, 10.0, 0.0, 1.0)
+        gen = cache.generation()
+        cache.bump_generation()  # e.g. a shard died mid-batch
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert not cache.get(op, now=0.0)[0]
+        assert cache.stats()["stale_puts"] == 1
+        # A snapshot taken after the event is accepted again.
+        gen = cache.generation()
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert cache.get(op, now=0.0)[0]
+
+    def test_clear_floors_inflight_puts(self):
+        cache = QueryResultCache()
+        op = Within(0.0, 10.0, 0.0, 1.0)
+        gen = cache.generation()
+        cache.clear()
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert not cache.get(op, now=0.0)[0]
+
+    def test_write_log_overrun_rejects_conservatively(self):
+        from repro.core import LinearMotion1D
+        from repro.vector.cache import WRITE_LOG_WINDOW
+
+        cache = QueryResultCache()
+        op = Within(0.0, 10.0, 0.0, 1.0)
+        gen = cache.generation()
+        for i in range(WRITE_LOG_WINDOW + 1):  # all provably irrelevant
+            cache.on_update(
+                "insert", 100 + i, LinearMotion1D(900.0, 0.0, 0.0)
+            )
+        cache.put(op, {1}, now=0.0, generation=gen)
+        assert not cache.get(op, now=0.0)[0]
+        assert cache.stats()["stale_puts"] == 1
 
 
 # -- the benchmark harness -----------------------------------------------------
