@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -15,6 +15,8 @@ check:
 	$(MAKE) subs-tests
 	$(MAKE) batch-smoke
 	$(MAKE) batch-tests
+	$(MAKE) durability-tests
+	$(MAKE) durability-smoke
 
 test: check service-smoke
 	pytest tests/
@@ -85,6 +87,22 @@ chaos-tests:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest tests/test_replication.py tests/test_wal_recovery.py \
 		tests/test_faults.py
+
+# The on-disk durability suites: DurableLog / CheckpointStore units,
+# the crash-point × fsync-policy recovery matrix, hypothesis damage
+# properties, and the SIGKILL smoke drill (all real files).
+durability-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m durability
+
+# The SIGKILL drill alone: spawn a WAL-backed service subprocess,
+# kill it mid-write-storm, recover from the directory, and
+# differential-check that no acknowledged update was lost (exit 1 on
+# any loss or invented state).
+durability-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro.storage.crashdrill --objects 30 \
+		--kill-after-acks 150 --seed 42
 
 bench:
 	pytest benchmarks/ --benchmark-only

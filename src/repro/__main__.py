@@ -164,6 +164,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         replication=args.replication,
         faults=args.faults,
         verify=args.verify,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
     )
     try:
         report = run_serve_bench(config)
@@ -325,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="end with a differential check against a "
                             "faultless single database (exit 3 on "
                             "lost updates)")
+    serve.add_argument("--wal-dir", metavar="PATH", default=None,
+                       help="write durable per-shard WALs + checkpoints "
+                            "under PATH (enables the fault-tolerant "
+                            "service; combine with --faults --verify "
+                            "to chaos-test the on-disk backend)")
+    serve.add_argument("--fsync", default="always",
+                       metavar="{always,batch[:N],never}",
+                       help="durable-log fsync policy (with --wal-dir); "
+                            "default: always")
     serve.add_argument("--batch", action="store_true",
                        help="run the batch-query bench: scalar vs "
                             "vectorized kernel throughput on the same "

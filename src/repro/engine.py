@@ -224,6 +224,53 @@ class MotionDatabase:
         """
         self._now = max(self._now, float(now))
 
+    @property
+    def history_enabled(self) -> bool:
+        """Whether this database archives superseded motion (§7)."""
+        return self._history_enabled
+
+    def restore_object(self, oid: int, y0: float, v: float, t0: float) -> None:
+        """Recovery-path :meth:`register`.
+
+        Identical to ``register`` except that a history-enabled index
+        opens the version through its order-agnostic restore path:
+        checkpoint populations are serialized in registration order
+        (part of the byte-identical contract), which is not timestamp
+        order once objects have been updated, and the archive's
+        append-only time check must not reject a legal checkpoint.
+        """
+        if not self._history_enabled:
+            self.register(oid, y0, v, t0)
+            return
+        if oid in self._motions:
+            raise InvalidMotionError(
+                f"object {oid} is already registered; use report() to "
+                "supersede its motion"
+            )
+        motion = LinearMotion1D(y0, v, t0)
+        self._index.restore_insert(  # type: ignore[attr-defined]
+            MobileObject1D(oid, motion)
+        )
+        self._motions[oid] = motion
+        self._now = max(self._now, t0)
+        self._notify_update("insert", oid, motion)
+
+    def history_snapshot(self) -> Optional[list]:
+        """Archived (pre-checkpoint) motion versions, or ``None`` when
+        history is disabled — the WAL includes this in checkpoints so
+        recovery does not silently lose the §7 archive."""
+        if not self._history_enabled:
+            return None
+        return self._index.closed_versions()  # type: ignore[attr-defined]
+
+    def restore_history(self, versions: list) -> None:
+        """Re-archive versions saved by :meth:`history_snapshot`."""
+        if not self._history_enabled:
+            raise InvalidMotionError(
+                "history is disabled; construct with keep_history=True"
+            )
+        self._index.restore_archive(versions)  # type: ignore[attr-defined]
+
     def objects(self) -> List[MobileObject1D]:
         """The current population as mobile objects (a fresh list)."""
         return [

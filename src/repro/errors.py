@@ -72,6 +72,40 @@ class InjectedFaultError(ReproError):
         return self.kind == "error"
 
 
+class SimulatedCrashError(ReproError):
+    """Injected process death at a durability boundary.
+
+    Raised by a crash-point hook (see
+    :class:`~repro.service.faults.CrashPointInjector`) wired into the
+    :mod:`repro.storage` layer.  The storage code treats it like a
+    power cut: the in-flight write is abandoned at exactly the armed
+    boundary, the file handle is closed dead, and the only legal next
+    step is reopening the files through the recovery path.
+
+    ``write_prefix`` is how many bytes of the in-flight buffer reach
+    disk before death (``None`` = half, modelling a torn sector
+    write); ``drop_unsynced`` additionally discards everything written
+    since the last ``fsync`` (modelling page-cache loss, the worst
+    case a real power cut allows).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        write_prefix: int | None = None,
+        drop_unsynced: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.write_prefix = write_prefix
+        self.drop_unsynced = drop_unsynced
+
+
+class CorruptRecordError(ReproError):
+    """Raised when a framed storage record fails its CRC or length
+    check in a context where torn-tail truncation is not an option
+    (e.g. a checkpoint file named by the manifest)."""
+
+
 class DegradedResultWarning(UserWarning):
     """Emitted when a query answers partially because a replica group
     is entirely unavailable; the result is a ``PartialResult`` naming

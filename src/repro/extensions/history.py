@@ -100,6 +100,44 @@ class HistoricalIndex(MobileIndex1D):
         self._live.update(obj)
         self._open_versions[obj.oid] = (obj.motion, obj.motion.t0)
 
+    # -- recovery support -------------------------------------------------------
+
+    def restore_insert(self, obj: MobileObject1D) -> None:
+        """Recovery-path insert: open a version without the time-order
+        check.
+
+        Checkpoint populations are serialized in *registration* order
+        (part of the byte-identical recovery contract), which is not
+        timestamp order once objects have been updated; replaying them
+        through :meth:`insert` would trip ``_advance``.  The archive
+        itself has no ordering requirement, so recovery opens versions
+        directly and only ratchets the clock forward.
+        """
+        self._live.insert(obj)
+        self._open_versions[obj.oid] = (obj.motion, obj.motion.t0)
+        self._now = max(self._now, obj.motion.t0)
+
+    def closed_versions(self) -> list:
+        """Every archived (superseded/departed) version, as portable
+        tuples ``(t_from, t_to, oid, y0, v, t0)`` in a deterministic
+        order — the checkpoint payload for history preservation."""
+        versions = [
+            (t_from, t_to, oid, motion.y0, motion.v, motion.t0)
+            for t_from, t_to, (oid, motion) in self._archive.overlapping_items(
+                -math.inf, math.inf
+            )
+        ]
+        versions.sort()
+        return versions
+
+    def restore_archive(self, versions) -> None:
+        """Re-insert archived versions saved by :meth:`closed_versions`."""
+        for t_from, t_to, oid, y0, v, t0 in versions:
+            self._archive.insert(
+                t_from, t_to, (int(oid), LinearMotion1D(y0, v, t0))
+            )
+            self._now = max(self._now, t_to)
+
     # -- queries --------------------------------------------------------------------
 
     def query(self, query: MORQuery1D) -> Set[int]:

@@ -18,7 +18,10 @@ from repro.io_sim.layout import (
     RSTAR_RECT,
     RSTAR_SEGMENT,
     RecordLayout,
+    WAL_FRAME_HEADER,
+    framed_record_bytes,
     page_capacity,
+    wal_records_per_page,
 )
 from repro.io_sim.pager import DiskSimulator, Page
 from repro.io_sim.stats import IOSnapshot, IOStats
@@ -41,6 +44,9 @@ __all__ = [
     "RSTAR_RECT",
     "RSTAR_SEGMENT",
     "RecordLayout",
+    "WAL_FRAME_HEADER",
     "external_sort",
+    "framed_record_bytes",
     "page_capacity",
+    "wal_records_per_page",
 ]

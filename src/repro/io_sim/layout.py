@@ -71,6 +71,30 @@ PERSISTENT_ENTRY = RecordLayout("persistent_entry", fields=4)
 #: 4-dimensional dual point for planar motion: (vx, ax, vy, ay, oid).
 KD_POINT_4D = RecordLayout("kd_point_4d", fields=5)
 
+#: Framing header of one durable-log record (:mod:`repro.storage`):
+#: a 4-byte little-endian payload length plus a 4-byte CRC32 of the
+#: payload.  The same 4-byte-field discipline as every other layout
+#: here, so the simulated and real on-disk record math agree.
+WAL_FRAME_HEADER = RecordLayout("wal_frame_header", fields=2)
+
+
+def framed_record_bytes(payload_bytes: int) -> int:
+    """On-disk bytes of one length-prefixed, CRC-checksummed record."""
+    if payload_bytes < 0:
+        raise ValueError(
+            f"payload size must be non-negative, got {payload_bytes}"
+        )
+    return WAL_FRAME_HEADER.record_bytes + payload_bytes
+
+
+def wal_records_per_page(
+    payload_bytes: int, page_size: int = DEFAULT_PAGE_SIZE
+) -> int:
+    """Framed records of ``payload_bytes`` that fit in one page —
+    the durable log's twin of :func:`page_capacity`, used to sanity-
+    check fsync batch sizes against the page the records land on."""
+    return page_capacity(framed_record_bytes(payload_bytes), page_size)
+
 
 def page_capacity(
     record_bytes: int, page_size: int = DEFAULT_PAGE_SIZE

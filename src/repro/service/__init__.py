@@ -11,7 +11,9 @@
   incrementally from boundary-crossing events (Lemma 3's closed-form
   roots) instead of per-tick re-evaluation;
 * :mod:`repro.service.faults` — :class:`FaultInjector`, the seeded
-  chaos layer (transient errors, latency spikes, crashes);
+  chaos layer (transient errors, latency spikes, crashes), and
+  :class:`CrashPointInjector`, the durability-boundary killer for the
+  :mod:`repro.storage` crash-recovery matrix;
 * :mod:`repro.service.health` — :class:`CircuitBreaker` and
   :class:`RetryPolicy`;
 * :mod:`repro.service.wal` — :class:`ShardWAL`, the per-shard
@@ -58,9 +60,22 @@ from repro.service.executor import (
     Within,
     op_class_name,
 )
-from repro.service.faults import FaultInjector, FaultSpec
+from repro.service.faults import (
+    CrashPointInjector,
+    CrashPointSpec,
+    FaultInjector,
+    FaultSpec,
+    flip_bit,
+    truncate_file,
+)
 from repro.service.health import CircuitBreaker, RetryPolicy
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    DURABILITY_COUNTERS,
+    Histogram,
+    MetricsRegistry,
+    wal_event_recorder,
+)
 from repro.service.replication import (
     FaultTolerantMotionService,
     PartialResult,
@@ -80,6 +95,9 @@ __all__ = [
     "BatchExecutor",
     "CircuitBreaker",
     "Counter",
+    "CrashPointInjector",
+    "CrashPointSpec",
+    "DURABILITY_COUNTERS",
     "Deregister",
     "FaultInjector",
     "FaultSpec",
@@ -110,10 +128,13 @@ __all__ = [
     "VelocityRouter",
     "Within",
     "build_service",
+    "flip_bit",
     "mix_oid",
     "op_class_name",
     "replay_deltas",
     "run_batch_bench",
     "run_serve_bench",
     "run_subscription_bench",
+    "truncate_file",
+    "wal_event_recorder",
 ]

@@ -92,6 +92,14 @@ class ServeBenchConfig:
     #: End the run with a differential check against a faultless
     #: single database (zero-lost-updates assertion).
     verify: bool = False
+    #: Root directory for durable per-shard WALs; ``None`` keeps the
+    #: in-memory backend.  Setting this switches to the fault-tolerant
+    #: service even with ``replication == 1`` and no faults, so
+    #: ``--faults --verify`` chaos runs exercise the real files.
+    wal_dir: Optional[str] = None
+    #: Log fsync policy for the durable backend
+    #: (``always`` / ``batch[:N]`` / ``never``).
+    fsync: str = "always"
 
 
 @dataclass
@@ -266,7 +274,7 @@ def build_service(
     transient-error/latency mix, and one seed-picked victim shard
     additionally crashes partway through the run.
     """
-    if not (config.faults or config.replication > 1):
+    if not (config.faults or config.replication > 1 or config.wal_dir):
         return ShardedMotionService(
             DEFAULT_Y_MAX,
             DEFAULT_V_MIN,
@@ -314,6 +322,8 @@ def build_service(
         retry=RetryPolicy(
             attempts=RETRY_ATTEMPTS, backoff_s=RETRY_BACKOFF_S
         ),
+        wal_dir=config.wal_dir,
+        wal_fsync=config.fsync,
     )
 
 
@@ -470,11 +480,14 @@ def run_serve_bench(config: ServeBenchConfig) -> ServeBenchReport:
         if oracle is not None
         else None
     )
+    stats = service.service_stats()
+    if isinstance(service, FaultTolerantMotionService):
+        service.close()
     return ServeBenchReport(
         config=config,
         elapsed_s=elapsed,
         operations=operations,
-        stats=service.service_stats(),
+        stats=stats,
         recoveries=recoveries,
         verification=verification,
     )

@@ -253,6 +253,39 @@ class MetricsRegistry:
         }
 
 
+#: Event names the durability layer emits (via ``wal_event_recorder``)
+#: and their meaning; all land in ``snapshot()["counters"]`` prefixed
+#: ``wal_``.
+DURABILITY_COUNTERS = {
+    "wal_append": "records appended through a ShardWAL",
+    "wal_fsync": "fsync() calls issued by durable logs",
+    "wal_checkpoint": "checkpoints installed",
+    "wal_recovery": "databases rebuilt from checkpoint + log",
+    "wal_truncated_bytes": "torn-tail bytes discarded during recovery",
+    "wal_torn_tail": "log opens that found (and cut) a torn tail",
+    "wal_recovered_records": "records recovered from log segments",
+    "wal_manifest_fallback": "manifest losses repaired by dir scan",
+    "wal_history_loss": "history shards recovered without an archive",
+}
+
+
+def wal_event_recorder(registry: MetricsRegistry):
+    """An ``on_event`` hook that books storage events into ``registry``.
+
+    The storage layer (:mod:`repro.storage`) reports ``(name, delta)``
+    events with bare names (``"fsync"``, ``"truncated_bytes"``, ...);
+    this adapter namespaces them as ``wal_<name>`` named counters so a
+    metrics snapshot shows the durability activity next to the
+    service's operation counters.
+    """
+
+    def record(name: str, delta: int = 1) -> None:
+        registry.counter(f"wal_{name}" if not name.startswith("wal_")
+                         else name).increment(delta)
+
+    return record
+
+
 class Span:
     """One in-flight operation: accumulates per-shard I/O deltas."""
 

@@ -47,6 +47,7 @@ Invariants (the chaos tests check these):
 
 from __future__ import annotations
 
+import os
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -63,9 +64,10 @@ from repro.errors import (
 )
 from repro.service.faults import FaultInjector
 from repro.service.health import CircuitBreaker, RetryPolicy
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import MetricsRegistry, wal_event_recorder
 from repro.service.service import ShardedMotionService, ShardRouter
 from repro.service.wal import ShardWAL
+from repro.storage.backend import FileWALBackend
 from repro.vector.ops import (
     Nearest,
     ProximityPairs,
@@ -150,6 +152,20 @@ class FaultTolerantMotionService(ShardedMotionService):
         WAL records between automatic per-shard checkpoints.
     breaker_threshold / breaker_reset_s:
         Per-shard circuit-breaker tuning (query path).
+    wal_dir:
+        When set, each shard's WAL writes through a durable
+        :class:`~repro.storage.backend.FileWALBackend` rooted at
+        ``<wal_dir>/shard-<i>`` instead of the in-memory null backend.
+        A service constructed over a directory holding a previous
+        incarnation's files can rebuild that state with
+        :meth:`restore_from_disk`.
+    wal_fsync:
+        Log fsync policy for the durable backend (``always`` /
+        ``batch[:N]`` / ``never``); ignored without ``wal_dir``.
+    wal_crash_hook:
+        Optional durability crash-point hook (a
+        :class:`~repro.service.faults.CrashPointInjector`) passed to
+        the durable backend; ignored without ``wal_dir``.
     """
 
     def __init__(
@@ -169,6 +185,9 @@ class FaultTolerantMotionService(ShardedMotionService):
         checkpoint_every: int = 64,
         breaker_threshold: int = 5,
         breaker_reset_s: float = 0.05,
+        wal_dir: Optional[str] = None,
+        wal_fsync: str = "always",
+        wal_crash_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         super().__init__(
             y_max,
@@ -189,10 +208,28 @@ class FaultTolerantMotionService(ShardedMotionService):
         self.replication_factor = replication_factor
         self._injector = fault_injector
         self._retry = retry or RetryPolicy()
+        self.wal_dir = wal_dir
+        recorder = wal_event_recorder(self.metrics)
+
+        def build_wal(shard: int) -> ShardWAL:
+            backend = None
+            if wal_dir is not None:
+                backend = FileWALBackend(
+                    os.path.join(wal_dir, f"shard-{shard:02d}"),
+                    fsync=wal_fsync,
+                    crash_hook=wal_crash_hook,
+                    on_event=recorder,
+                )
+            return ShardWAL(
+                checkpoint_every=checkpoint_every,
+                backend=backend,
+                on_event=recorder,
+            )
+
         self._nodes = [
             _ShardNode(
                 shard_id=i,
-                wal=ShardWAL(checkpoint_every=checkpoint_every),
+                wal=build_wal(i),
                 breaker=CircuitBreaker(
                     failure_threshold=breaker_threshold,
                     reset_after_s=breaker_reset_s,
@@ -706,6 +743,97 @@ class FaultTolerantMotionService(ShardedMotionService):
             "objects": len(db),
         }
 
+    def restore_from_disk(self) -> Dict[str, object]:
+        """Rebuild the whole service from its shards' WAL directories.
+
+        The cold-restart entry point for ``wal_dir`` services: after
+        real process death, construct a fresh service over the same
+        directory and call this once before serving.  Per shard it
+        runs the usual checkpoint + log-tail recovery; then, because
+        relaxed fsync policies let replicas of one group survive with
+        *different* committed prefixes, it rebuilds the catalog by
+        electing, per object, the newest motion any replica retained
+        (latest ``t0`` wins; ties are identical by the per-object
+        time-order invariant) and reconciles every shard against that
+        catalog — so the restored service is exactly as consistent as
+        a recovered-shard one, and under ``fsync=always`` byte-equal
+        to the pre-crash committed state.
+
+        Must be called before any writes; raises otherwise.
+        """
+        with self._catalog_lock:
+            if self._owner:
+                raise ValueError(
+                    "restore_from_disk() requires a fresh service; "
+                    f"{len(self._owner)} objects already registered"
+                )
+        per_shard: List[Dict[str, object]] = []
+        with self._holding(range(self.shard_count)):
+            recovered: List[MotionDatabase] = []
+            for node in self._nodes:
+                db = node.wal.recover(self._build_database)
+                recovered.append(db)
+                per_shard.append({
+                    "shard": node.shard_id,
+                    "replayed": len(node.wal.tail()),
+                    "objects": len(db),
+                })
+            # Elect the authoritative motion per object across replicas.
+            elected: Dict[int, LinearMotion1D] = {}
+            for db in recovered:
+                for oid, motion in db.motion_snapshot().items():
+                    best = elected.get(oid)
+                    if best is None or (motion.t0, motion.y0, motion.v) > (
+                        best.t0, best.y0, best.v
+                    ):
+                        elected[oid] = motion
+            owners = {
+                oid: self.router.route(oid, motion)
+                for oid, motion in elected.items()
+            }
+            repaired = dropped = 0
+            for node, db in zip(self._nodes, recovered):
+                shard = node.shard_id
+                expected = {
+                    oid: elected[oid]
+                    for oid, primary in owners.items()
+                    if shard in self.replica_group(primary)
+                }
+                current = db.motion_snapshot()
+                for oid in sorted(set(current) - set(expected)):
+                    db.deregister(oid)
+                    dropped += 1
+                for oid in sorted(set(expected) - set(current)):
+                    m = expected[oid]
+                    db.register(oid, m.y0, m.v, m.t0)
+                    repaired += 1
+                for oid in sorted(set(expected) & set(current)):
+                    m, c = expected[oid], current[oid]
+                    if (m.y0, m.v, m.t0) != (c.y0, c.v, c.t0):
+                        db.report(oid, m.y0, m.v, m.t0)
+                        repaired += 1
+                node.wal.checkpoint(db)
+                self._shards[shard] = db
+                node.breaker.reset()
+                node.mark_up()
+            with self._catalog_lock:
+                self._owner.update(owners)
+                self._catalog_motion.update(elected)
+            for oid in sorted(elected):
+                self._notify_update("insert", oid, elected[oid])
+            self._recoveries += 1
+        return {
+            "objects": len(elected),
+            "reconciled": repaired,
+            "dropped": dropped,
+            "shards": per_shard,
+        }
+
+    def close(self) -> None:
+        """Release durable-backend resources (log file handles)."""
+        for node in self._nodes:
+            node.wal.close()
+
     # -- accounting --------------------------------------------------------------
 
     def service_stats(self) -> Dict[str, object]:
@@ -714,6 +842,7 @@ class FaultTolerantMotionService(ShardedMotionService):
         stats = super().service_stats()
         stats["fault_tolerance"] = {
             "replication_factor": self.replication_factor,
+            "wal_dir": self.wal_dir,
             "recoveries": self._recoveries,
             "down_shards": self.down_shards(),
             "health": self.shard_status(),

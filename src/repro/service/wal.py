@@ -18,21 +18,42 @@ Records and checkpoints reuse the portable formats of
 the ``population_to_json`` payload, so a WAL dump replays with the
 same tooling as any workload trace.
 
+The WAL keeps its mirrors (checkpoint, redo tail, counters) in memory
+as working state and writes *through* a persistence backend:
+
+* :class:`~repro.storage.backend.MemoryWALBackend` (default) — null
+  sink; state lives only in the mirrors, exactly the original
+  in-memory behaviour;
+* :class:`~repro.storage.backend.FileWALBackend` — every record hits
+  a CRC-framed :class:`~repro.storage.log.DurableLog` on disk and
+  checkpoints go through the atomic temp-fsync-rename protocol, so a
+  ``ShardWAL`` opened over the same directory after real process
+  death resumes from the committed prefix.
+
 :meth:`recover` rebuilds a fresh database: load the checkpoint
 population (in its serialized order — object registration order is
-part of the byte-identical contract), restore the clock, then replay
-the log tail through :meth:`MotionDatabase.apply_event`.
+part of the byte-identical contract) through the recovery-path
+``restore_object``, restore the clock and — for ``keep_history=True``
+shards — the archived motion versions the checkpoint carries, then
+replay the log tail through :meth:`MotionDatabase.apply_event`.
 
-Known limitation: recovery reconstructs *current* state.  A shard
-built with ``keep_history=True`` loses its pre-checkpoint archive on
-recovery — the checkpoint stores live motions, not superseded ones.
+History-enabled shards are fully recovered: checkpoints written by
+this version embed the §7 archive (``history`` payload key), so the
+pre-checkpoint archive survives.  Recovering a history shard from an
+*older* checkpoint that lacks the payload degrades softly — a
+:class:`~repro.errors.DegradedResultWarning` is emitted, a
+``wal_history_loss`` event is recorded, and only the archive (never
+current state) is lost.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.engine import MotionDatabase
+from repro.errors import DegradedResultWarning
+from repro.storage.backend import MemoryWALBackend
 from repro.workloads.serialization import (
     population_from_json,
     population_to_json,
@@ -42,36 +63,77 @@ from repro.workloads.serialization import (
 #: One WAL record: a serialization.py trace event plus a "seq" key.
 WALRecord = Dict
 
+EventHook = Callable[[str, int], None]
+
 
 class ShardWAL:
-    """In-memory redo log + checkpoint for one shard.
+    """Redo log + checkpoint for one shard, over a persistence backend.
 
     All methods must be called under the owning shard's lock; the
     service guarantees that, so the WAL itself carries no lock.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Checkpoint after this many log records.
+    backend:
+        Persistence seam; default is the null in-memory backend.  A
+        backend whose :meth:`load` returns recovered state (an
+        on-disk directory with a previous incarnation's files) seeds
+        the mirrors, so ``wal.recover(factory)`` immediately rebuilds
+        the pre-crash database.
+    on_event:
+        Optional ``(name, delta)`` counter hook (see
+        :func:`repro.service.metrics.wal_event_recorder`).
     """
 
-    def __init__(self, checkpoint_every: int = 64) -> None:
+    def __init__(
+        self,
+        checkpoint_every: int = 64,
+        backend: Optional[object] = None,
+        on_event: Optional[EventHook] = None,
+    ) -> None:
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         self.checkpoint_every = checkpoint_every
-        self._seq = 0
-        self._records: List[WALRecord] = []  # tail since last checkpoint
-        self._checkpoint: Optional[Dict] = None
+        self._backend = backend if backend is not None else MemoryWALBackend()
+        self._on_event = on_event
         self._appends = 0
         self._checkpoints = 0
         self._recoveries = 0
+        checkpoint, tail = self._backend.load()
+        self._checkpoint: Optional[Dict] = checkpoint
+        self._records: List[WALRecord] = tail
+        self._seq = 0
+        if checkpoint is not None:
+            self._seq = int(checkpoint.get("seq", 0))
+        if tail:
+            self._seq = max(self._seq, int(tail[-1].get("seq", 0)))
+
+    def _event(self, name: str, delta: int = 1) -> None:
+        if self._on_event is not None:
+            self._on_event(name, delta)
 
     # -- logging ---------------------------------------------------------------
 
     def append(self, kind: str, **fields: object) -> WALRecord:
-        """Log one committed operation; returns the record."""
-        self._seq += 1
-        record: WALRecord = {"seq": self._seq, "kind": kind}
+        """Log one committed operation; returns the record.
+
+        The backend write happens *before* the in-memory mirror is
+        updated: if the backend dies mid-append (simulated crash, real
+        I/O error) the record was never acknowledged and must not
+        appear recovered.
+        """
+        seq = self._seq + 1
+        record: WALRecord = {"seq": seq, "kind": kind}
         record.update(fields)
+        self._backend.append(record)
+        self._seq = seq
         self._records.append(record)
         self._appends += 1
+        self._event("wal_append")
         return record
 
     def maybe_checkpoint(self, db: MotionDatabase) -> bool:
@@ -82,14 +144,22 @@ class ShardWAL:
         return False
 
     def checkpoint(self, db: MotionDatabase) -> None:
-        """Serialize the full population and truncate the log tail."""
-        self._checkpoint = {
+        """Serialize the full population and truncate the log tail.
+
+        History-enabled databases contribute their archived versions
+        (``history`` key) so the §7 archive survives recovery.
+        """
+        payload = {
             "seq": self._seq,
             "now": db.now,
             "population": population_to_json(db.objects()),
+            "history": db.history_snapshot(),
         }
+        self._backend.checkpoint(payload)
+        self._checkpoint = payload
         self._records = []
         self._checkpoints += 1
+        self._event("wal_checkpoint")
 
     # -- recovery --------------------------------------------------------------
 
@@ -99,18 +169,44 @@ class ShardWAL:
         """Rebuild a fresh database: checkpoint load + log-tail replay.
 
         The result answers every query byte-identically to the
-        database whose committed operations this WAL recorded.
+        database whose committed operations this WAL recorded —
+        including historical queries, when the checkpoint carries the
+        archive.
         """
         db = factory()
         if self._checkpoint is not None:
             for obj in population_from_json(self._checkpoint["population"]):
-                db.register(obj.oid, obj.motion.y0, obj.motion.v,
-                            obj.motion.t0)
+                db.restore_object(obj.oid, obj.motion.y0, obj.motion.v,
+                                  obj.motion.t0)
+            if db.history_enabled:
+                history = self._checkpoint.get("history")
+                if history is not None:
+                    db.restore_history(history)
+                else:
+                    self._event("wal_history_loss")
+                    warnings.warn(
+                        "checkpoint predates history payloads; the "
+                        "pre-checkpoint archive is lost and past "
+                        "queries over it will under-report",
+                        DegradedResultWarning,
+                        stacklevel=2,
+                    )
             db.restore_clock(self._checkpoint["now"])
         for record in self._records:
             db.apply_event(record)
         self._recoveries += 1
+        self._event("wal_recovery")
         return db
+
+    # -- durability pass-through -----------------------------------------------
+
+    def sync(self) -> None:
+        """Force the backend to make every appended record durable."""
+        self._backend.sync()
+
+    def close(self) -> None:
+        """Release backend resources (file handles)."""
+        self._backend.close()
 
     # -- introspection ---------------------------------------------------------
 
@@ -118,6 +214,10 @@ class ShardWAL:
     def seq(self) -> int:
         """Sequence number of the last appended record."""
         return self._seq
+
+    @property
+    def backend(self) -> object:
+        return self._backend
 
     def tail(self) -> List[WALRecord]:
         """Records appended since the last checkpoint (a copy)."""
@@ -138,4 +238,5 @@ class ShardWAL:
             "appends": self._appends,
             "checkpoints": self._checkpoints,
             "recoveries": self._recoveries,
+            "backend": self._backend.stats(),
         }

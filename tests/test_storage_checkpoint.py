@@ -1,0 +1,143 @@
+"""CheckpointStore tests: atomic installs, manifest recovery, crashes."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulatedCrashError
+from repro.service.faults import CrashPointInjector, flip_bit, truncate_file
+from repro.storage import (
+    CHECKPOINT_CRASH_POINTS,
+    CheckpointStore,
+    read_framed_file,
+)
+
+pytestmark = pytest.mark.durability
+
+
+def listing(directory):
+    return sorted(os.listdir(directory))
+
+
+def test_fresh_store_writes_manifest_only(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    assert store.seq == 0
+    assert store.read() is None
+    assert listing(tmp_path) == ["MANIFEST"]
+    assert store.segment_name == "wal-00000000.log"
+
+
+def test_write_install_and_reopen(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    segment = store.write({"seq": 5, "payload": "alpha"})
+    assert segment.endswith("wal-00000001.log")
+    assert store.read() == {"seq": 5, "payload": "alpha"}
+    reopened = CheckpointStore(str(tmp_path))
+    assert reopened.seq == 1
+    assert reopened.read() == {"seq": 5, "payload": "alpha"}
+    assert "ckpt-00000001.ckpt" in listing(tmp_path)
+
+
+def test_write_garbage_collects_superseded_files(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    store.write({"gen": 2})
+    names = listing(tmp_path)
+    assert "ckpt-00000001.ckpt" not in names
+    assert "wal-00000001.log" not in names
+    assert "ckpt-00000002.ckpt" in names
+    assert "wal-00000002.log" in names
+
+
+def test_corrupt_manifest_falls_back_to_directory_scan(tmp_path):
+    events = []
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    store.write({"gen": 2})
+    manifest = tmp_path / "MANIFEST"
+    flip_bit(str(manifest), byte_offset=10)
+    reopened = CheckpointStore(
+        str(tmp_path), on_event=lambda n, a: events.append((n, a))
+    )
+    assert reopened.seq == 2
+    assert reopened.read() == {"gen": 2}
+    assert ("manifest_fallback", 1) in events
+    # The fallback rewrote a valid manifest.
+    assert read_framed_file(str(manifest)) is not None
+
+
+def test_corrupt_checkpoint_falls_back_to_previous(tmp_path):
+    """Bit rot in the active checkpoint: recovery scans for the best
+    *valid* one.  The superseded files are gone, so a fully-corrupt
+    newest checkpoint degrades to an empty (but functional) store."""
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    flip_bit(str(tmp_path / "ckpt-00000001.ckpt"), byte_offset=12, bit=3)
+    reopened = CheckpointStore(str(tmp_path))
+    assert reopened.read() is None
+    assert reopened.write({"gen": 2}).endswith(".log")
+    assert CheckpointStore(str(tmp_path)).read() == {"gen": 2}
+
+
+def test_truncated_checkpoint_is_rejected(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    path = str(tmp_path / "ckpt-00000001.ckpt")
+    truncate_file(path, os.path.getsize(path) - 3)
+    assert read_framed_file(path) is None
+    assert CheckpointStore(str(tmp_path)).read() is None
+
+
+@pytest.mark.parametrize("point", CHECKPOINT_CRASH_POINTS)
+@pytest.mark.parametrize("drop_unsynced", [False, True])
+def test_crash_at_every_checkpoint_boundary(tmp_path, point, drop_unsynced):
+    """Kill the checkpoint protocol at each boundary; reopening must
+    yield either the old or the new checkpoint — never a torn one —
+    and the post-manifest boundaries must yield the *new* one."""
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": "old"})
+    injector = CrashPointInjector().arm(point, drop_unsynced=drop_unsynced)
+    crashing = CheckpointStore(str(tmp_path), crash_hook=injector)
+    with pytest.raises(SimulatedCrashError):
+        crashing.write({"gen": "new"})
+    with pytest.raises(ValueError):
+        crashing.write({"gen": "dead store"})
+    recovered = CheckpointStore(str(tmp_path))
+    payload = recovered.read()
+    assert payload in ({"gen": "old"}, {"gen": "new"})
+    if point == "checkpoint.post_manifest":
+        # The manifest replace committed the new checkpoint.
+        assert payload == {"gen": "new"}
+        assert recovered.seq == 2
+    else:
+        # Before the manifest replace the old pair stays active (the
+        # old log segment still holds the full tail, so the recovered
+        # state is equivalent); the orphaned new files are collected.
+        assert payload == {"gen": "old"}
+        assert "ckpt-00000002.ckpt" not in listing(tmp_path)
+    # Whatever survived, the store keeps working.
+    recovered.write({"gen": "after"})
+    assert CheckpointStore(str(tmp_path)).read() == {"gen": "after"}
+
+
+def test_manifest_pointing_at_lost_checkpoint_rescans(tmp_path):
+    """A manifest naming a missing checkpoint file (lost to bit rot +
+    deletion) must not crash the open — scan finds what's left."""
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    os.remove(tmp_path / "ckpt-00000001.ckpt")
+    reopened = CheckpointStore(str(tmp_path))
+    assert reopened.read() is None
+
+
+def test_manifest_is_single_framed_json_blob(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    store.write({"gen": 1})
+    payload = read_framed_file(str(tmp_path / "MANIFEST"))
+    manifest = json.loads(payload.decode("utf-8"))
+    assert manifest == {
+        "seq": 1,
+        "checkpoint": "ckpt-00000001.ckpt",
+        "log": "wal-00000001.log",
+    }
