@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -17,6 +17,8 @@ check:
 	$(MAKE) batch-tests
 	$(MAKE) durability-tests
 	$(MAKE) durability-smoke
+	$(MAKE) soak-smoke
+	$(MAKE) soak-tests
 
 test: check service-smoke
 	pytest tests/
@@ -103,6 +105,40 @@ durability-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		python -m repro.storage.crashdrill --objects 30 \
 		--kill-after-acks 150 --seed 42
+
+# Soak smoke: a small production-shaped mixed run (city scenario,
+# churn, batched queries, live subscriptions, one crash/recovery)
+# cross-checked against the naive oracle every other tick.  Exit 3 on
+# any divergence; deterministic schedule digest for a fixed seed.
+soak-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --soak --scenario city --n 300 \
+		--ticks 6 --shards 3 --replication 2 --subs 8 --queries 24 \
+		--arrivals 3 --departures 2 --crashes 1 --check-every 2 --seed 9
+
+# The scenario-generator + soak-harness suites (seed plumbing,
+# stream legality, hypothesis properties, determinism, concurrency,
+# durable restart convergence).
+soak-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m soak
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest tests/test_scenarios.py tests/test_scenarios_properties.py
+
+# Regenerate the committed soak baseline at the acceptance scale:
+# 10k objects, multi-threaded mixed workload, >=20 subscriptions,
+# 2 crash/recovery cycles plus a durable WAL restart, zero tolerated
+# divergences.
+soak-baseline:
+	rm -rf .soak-wal
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --soak --scenario city --n 10000 \
+		--ticks 12 --shards 4 --replication 2 --threads 4 --subs 24 \
+		--queries 64 --batch-size 16 --arrivals 40 --departures 25 \
+		--crashes 2 --restarts 1 --wal-dir .soak-wal --fsync batch:32 \
+		--check-every 3 --seed 42 \
+		--soak-json benchmarks/results/BENCH_soak.json
+	rm -rf .soak-wal
 
 bench:
 	pytest benchmarks/ --benchmark-only

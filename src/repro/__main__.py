@@ -146,6 +146,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import ServeBenchConfig, run_serve_bench
 
+    if args.soak:
+        return _cmd_soak_bench(args)
     if args.subscriptions:
         return _cmd_subscription_bench(args)
     if args.batch:
@@ -213,6 +215,53 @@ def _cmd_batch_bench(args: argparse.Namespace) -> int:
         print(
             "serve-bench: vector results DIVERGED from the scalar path "
             f"at query indices {report.divergences[:10]}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_soak_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --soak``: the full-stack concurrent soak under
+    differential oracles (exit 3 on any divergence)."""
+    from repro.soak import SoakConfig, run_soak
+
+    try:
+        config = SoakConfig(
+            scenario=args.scenario,
+            n=args.n,
+            ticks=args.ticks,
+            updates_per_tick=args.updates if args.updates else None,
+            arrivals_per_tick=args.arrivals,
+            departures_per_tick=args.departures,
+            shards=args.shards,
+            replication=args.replication,
+            method=args.method,
+            router=args.router,
+            threads=args.threads,
+            batch_queries_per_tick=args.queries,
+            batch_size=args.batch_size,
+            subscriptions=args.subs,
+            horizon=args.horizon,
+            crashes=args.crashes,
+            restarts=args.restarts,
+            check_every=args.check_every,
+            wal_dir=args.wal_dir,
+            fsync=args.fsync,
+            seed=args.seed,
+        )
+        report = run_soak(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.soak_json:
+        report.write_json(args.soak_json)
+        print(f"wrote {args.soak_json}")
+    if not report.ok:
+        print(
+            "serve-bench: soak DIVERGED from the differential oracles: "
+            f"{report.divergence_labels[:10]}",
             file=sys.stderr,
         )
         return 3
@@ -362,6 +411,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--horizon", type=float, default=8.0,
                        help="sliding-window length for 'within' "
                             "subscriptions (--subscriptions mode)")
+    serve.add_argument("--soak", action="store_true",
+                       help="run the full-stack soak: scenario-shaped "
+                            "writes + batch queries + live subscriptions "
+                            "+ injected crashes/WAL restarts, every "
+                            "answer differential-checked (exit 3 on "
+                            "divergence); --n/--ticks/--updates/"
+                            "--queries/--subs size the workload")
+    serve.add_argument("--scenario", default="uniform",
+                       choices=["uniform", "city", "grid", "convoy",
+                                "adversarial"],
+                       help="workload shape (--soak mode)")
+    serve.add_argument("--threads", type=int, default=1,
+                       help="writer threads; 1 = deterministic trace "
+                            "(--soak mode)")
+    serve.add_argument("--crashes", type=int, default=0,
+                       help="scheduled mid-storm shard kills, each "
+                            "recovered by WAL replay (--soak mode)")
+    serve.add_argument("--restarts", type=int, default=0,
+                       help="graceful shutdown + restore_from_disk "
+                            "cycles; needs --wal-dir (--soak mode)")
+    serve.add_argument("--check-every", type=int, default=2,
+                       help="differential-oracle round every N ticks "
+                            "(--soak mode)")
+    serve.add_argument("--arrivals", type=int, default=0,
+                       help="open-system arrivals per tick (--soak mode)")
+    serve.add_argument("--departures", type=int, default=0,
+                       help="open-system departures per tick "
+                            "(--soak mode)")
+    serve.add_argument("--soak-json", metavar="PATH", default=None,
+                       help="dump the machine-readable soak report to "
+                            "PATH (--soak mode)")
     serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")

@@ -1,0 +1,34 @@
+"""Long-running concurrent soak harness with differential oracles.
+
+Drives the full stack built in PRs 2–6 at once — replicated sharded
+service, durable WALs, live subscriptions, vectorized batch queries,
+injected shard crashes and cold restarts — under a production-shaped
+:mod:`repro.workloads.scenarios` stream, continuously cross-checking
+every answer against independent oracles.  Divergence count must be 0;
+everything else (throughput, latency percentiles, recovery counts) is
+trend data for ``BENCH_soak.json``.
+"""
+
+from repro.soak.harness import (
+    SoakConfig,
+    SoakReport,
+    run_soak,
+    schedule_digest,
+)
+from repro.soak.oracle import (
+    OracleChecker,
+    oracle_nearest,
+    oracle_snapshot_at,
+    oracle_within,
+)
+
+__all__ = [
+    "OracleChecker",
+    "SoakConfig",
+    "SoakReport",
+    "oracle_nearest",
+    "oracle_snapshot_at",
+    "oracle_within",
+    "run_soak",
+    "schedule_digest",
+]

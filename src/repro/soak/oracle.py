@@ -1,0 +1,274 @@
+"""Differential oracles for the soak harness.
+
+Three independent sources of truth are compared at every check round:
+
+1. a pure-functional brute force over the service's *authoritative
+   catalog* (``motion_snapshot()`` is well-defined even while replicas
+   are down, so the oracle never depends on shard health);
+2. for the grid scenario, the :class:`GridBucketOracle` — derived by a
+   completely different algorithm (velocity buckets + intercept
+   bisect), so a shared bug in the swept-range arithmetic cannot hide;
+3. for subscriptions, the manager's own ``reevaluate`` naive oracle
+   plus the PR 4 delta-replay identity
+   (``replay_deltas(initial, log) == result``).
+
+Degraded answers (:class:`PartialResult` while a replica group is
+entirely down) are *skipped*, not failed: availability loss is the
+documented contract there, and the next healthy round re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.model import LinearMotion1D
+from repro.core.predicates import matches_1d, matches_mor1
+from repro.core.queries import MOR1Query, MORQuery1D
+from repro.service.replication import PartialResult
+from repro.vector.ops import Nearest, SnapshotAt, Within
+
+__all__ = [
+    "OracleChecker",
+    "oracle_nearest",
+    "oracle_snapshot_at",
+    "oracle_within",
+]
+
+
+def oracle_within(
+    motions: Dict[int, LinearMotion1D], query: MORQuery1D
+) -> Set[int]:
+    """Brute-force MOR answer over a motion map."""
+    return {
+        oid for oid, motion in motions.items() if matches_1d(motion, query)
+    }
+
+
+def oracle_snapshot_at(
+    motions: Dict[int, LinearMotion1D], y1: float, y2: float, t: float
+) -> Set[int]:
+    """Brute-force instantaneous-range answer over a motion map."""
+    query = MOR1Query(y1, y2, t)
+    return {
+        oid for oid, motion in motions.items() if matches_mor1(motion, query)
+    }
+
+
+def oracle_nearest(
+    motions: Dict[int, LinearMotion1D], y: float, t: float, k: int
+) -> List[Tuple[int, float]]:
+    """Exact k-NN over a motion map: sorted by ``(distance, oid)``."""
+    ranked = sorted(
+        (abs(motion.position(t) - y), oid) for oid, motion in motions.items()
+    )
+    return [(oid, dist) for dist, oid in ranked[: max(0, k)]]
+
+
+@dataclass
+class CheckStats:
+    """Tally of one run's differential verification."""
+
+    rounds: int = 0
+    query_checks: int = 0
+    batch_checks: int = 0
+    grid_checks: int = 0
+    subscription_checks: int = 0
+    restart_checks: int = 0
+    skipped_degraded: int = 0
+    divergences: List[str] = field(default_factory=list)
+
+    def diverge(self, label: str) -> None:
+        self.divergences.append(label)
+
+
+class OracleChecker:
+    """Runs one differential round against a live service.
+
+    The checker never holds service internals: it reads the acknowledged
+    catalog once per round and compares every fresh answer — scalar
+    reads, the vectorized ``query_batch`` path, the grid baseline, and
+    the subscription identities — against recomputation from that
+    catalog.
+    """
+
+    def __init__(self, stats: Optional[CheckStats] = None) -> None:
+        self.stats = stats or CheckStats()
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _value(answer):
+        """Unwrap, flagging degraded answers as unverifiable."""
+        if isinstance(answer, PartialResult):
+            return None
+        return answer
+
+    def _compare_sets(self, label: str, got, expected: Set[int]) -> None:
+        value = self._value(got)
+        if value is None:
+            self.stats.skipped_degraded += 1
+            return
+        if set(value) != expected:
+            extra = sorted(set(value) - expected)[:5]
+            missing = sorted(expected - set(value))[:5]
+            self.stats.diverge(
+                f"{label}: +{extra} -{missing} "
+                f"(got {len(set(value))}, want {len(expected)})"
+            )
+
+    # -- one round ---------------------------------------------------------
+
+    def check_queries(
+        self,
+        service,
+        motions: Dict[int, LinearMotion1D],
+        queries: Sequence[MORQuery1D],
+        now: float,
+        knn_probes: Sequence[Tuple[float, int]] = (),
+    ) -> None:
+        """Scalar + batch reads vs brute force over the catalog."""
+        self.stats.rounds += 1
+        ops = []
+        expectations = []
+        for query in queries:
+            expected = oracle_within(motions, query)
+            self.stats.query_checks += 1
+            self._compare_sets(
+                f"within({query.y1:.1f},{query.y2:.1f},"
+                f"{query.t1:.1f},{query.t2:.1f})",
+                service.within(query.y1, query.y2, query.t1, query.t2),
+                expected,
+            )
+            ops.append(Within(query.y1, query.y2, query.t1, query.t2))
+            expectations.append(("within", expected))
+            snap_expected = oracle_snapshot_at(
+                motions, query.y1, query.y2, query.t1
+            )
+            self.stats.query_checks += 1
+            self._compare_sets(
+                f"snapshot_at({query.y1:.1f},{query.y2:.1f},{query.t1:.1f})",
+                service.snapshot_at(query.y1, query.y2, query.t1),
+                snap_expected,
+            )
+            ops.append(SnapshotAt(query.y1, query.y2, query.t1))
+            expectations.append(("snapshot_at", snap_expected))
+        for y, k in knn_probes:
+            expected_knn = oracle_nearest(motions, y, now, k)
+            self.stats.query_checks += 1
+            got = self._value(service.nearest(y, now, k))
+            if got is None:
+                self.stats.skipped_degraded += 1
+            elif [oid for oid, _ in got] != [oid for oid, _ in expected_knn]:
+                self.stats.diverge(
+                    f"nearest({y:.1f},k={k}): got {got[:5]} "
+                    f"want {expected_knn[:5]}"
+                )
+            ops.append(Nearest(y, now, k))
+            expectations.append(("nearest", expected_knn))
+        # The same reads again through the vectorized batch path: the
+        # answers must agree with the oracle (and hence with scalar).
+        if ops:
+            results = service.query_batch(ops)
+            for (kind, expected), got in zip(expectations, results):
+                self.stats.batch_checks += 1
+                if kind == "nearest":
+                    value = self._value(got)
+                    if value is None:
+                        self.stats.skipped_degraded += 1
+                    elif [oid for oid, _ in value] != [
+                        oid for oid, _ in expected
+                    ]:
+                        self.stats.diverge(
+                            f"batch nearest: got {value[:5]} "
+                            f"want {expected[:5]}"
+                        )
+                else:
+                    self._compare_sets(f"batch {kind}", got, expected)
+
+    def check_grid_oracle(
+        self,
+        motions: Dict[int, LinearMotion1D],
+        grid_oracle,
+        queries: Sequence[MORQuery1D],
+    ) -> None:
+        """The velocity-bucket baseline vs brute force (grid scenario)."""
+        for query in queries:
+            self.stats.grid_checks += 1
+            got = grid_oracle.within(query.y1, query.y2, query.t1, query.t2)
+            expected = oracle_within(motions, query)
+            if got != expected:
+                self.stats.diverge(
+                    f"grid-oracle within({query.y1},{query.y2},"
+                    f"{query.t1},{query.t2}): +{sorted(got - expected)[:5]} "
+                    f"-{sorted(expected - got)[:5]}"
+                )
+
+    def check_subscriptions(
+        self, manager, replay_logs: Dict[int, tuple], service
+    ) -> None:
+        """The PR 4 three-way identity per live subscription.
+
+        ``replay_logs`` maps sid -> (initial frozenset, [deltas so far]).
+        Stale subscriptions (degraded service) are skipped; ``advance``
+        re-fires them when the shards return.
+        """
+        from repro.service.continuous import replay_deltas
+
+        if service.down_shards():
+            self.stats.skipped_degraded += 1
+            return
+        for sid, (initial, deltas) in replay_logs.items():
+            if manager.is_stale(sid):
+                self.stats.skipped_degraded += 1
+                continue
+            self.stats.subscription_checks += 1
+            incremental = manager.result(sid)
+            naive = manager.reevaluate(sid)
+            if isinstance(naive, PartialResult):
+                self.stats.skipped_degraded += 1
+                continue
+            if incremental != frozenset(naive):
+                self.stats.diverge(
+                    f"sub {sid}: incremental {len(incremental)} != "
+                    f"naive {len(frozenset(naive))}"
+                )
+                continue
+            try:
+                replayed = replay_deltas(initial, deltas)
+            except ValueError as error:
+                self.stats.diverge(f"sub {sid}: replay inconsistent: {error}")
+                continue
+            if frozenset(replayed) != incremental:
+                self.stats.diverge(
+                    f"sub {sid}: delta replay {len(replayed)} != "
+                    f"incremental {len(incremental)}"
+                )
+
+    def check_restored_catalog(
+        self,
+        before: Dict[int, LinearMotion1D],
+        after: Dict[int, LinearMotion1D],
+    ) -> None:
+        """Cold-restart convergence: the restored catalog must equal the
+        acknowledged pre-shutdown catalog, motion for motion."""
+        self.stats.restart_checks += 1
+        if set(before) != set(after):
+            lost = sorted(set(before) - set(after))[:5]
+            invented = sorted(set(after) - set(before))[:5]
+            self.stats.diverge(
+                f"restore: lost {lost} invented {invented} "
+                f"({len(before)} -> {len(after)} objects)"
+            )
+            return
+        for oid, motion in before.items():
+            restored = after[oid]
+            if (
+                restored.y0 != motion.y0
+                or restored.v != motion.v
+                or restored.t0 != motion.t0
+            ):
+                self.stats.diverge(
+                    f"restore: object {oid} motion {restored} != {motion}"
+                )
+                return

@@ -168,8 +168,15 @@ def run_drill(directory: Optional[str], fsync: str, shards: int,
         # close anything.
         if child.poll() is None:
             child.send_signal(signal.SIGKILL)
-    remainder, stderr = child.communicate()
-    lines.extend(remainder.splitlines(keepends=True))
+    # Drain the tail through the SAME file object the loop iterated:
+    # the iterator read ahead of the break point, and communicate()
+    # reads the raw fd — it would silently drop whatever TRY/ACK
+    # lines are still sitting in that read-ahead buffer, making the
+    # differential check see "recovered but never attempted" ghosts.
+    for line in child.stdout:
+        lines.append(line)
+    stderr = child.stderr.read()
+    child.wait()
     if acks < kill_after_acks:
         print(f"crashdrill: child died early after {acks} ACKs",
               file=sys.stderr)

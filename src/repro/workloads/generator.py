@@ -89,11 +89,23 @@ class WorkloadConfig:
 
 
 class WorkloadGenerator:
-    """Reproducible generator for populations, update streams and queries."""
+    """Reproducible generator for populations, update streams and queries.
 
-    def __init__(self, model: MotionModel | None = None, seed: int = 0):
+    All randomness flows through one :class:`random.Random`: pass
+    ``seed`` to create it, or inject ``rng`` directly to share a stream
+    with a caller (``rng`` wins when both are given).  Two generators
+    built from the same seed are byte-identical for the same call
+    sequence — the seed-plumbing regression suite asserts this.
+    """
+
+    def __init__(
+        self,
+        model: MotionModel | None = None,
+        seed: int = 0,
+        rng: random.Random | None = None,
+    ):
         self.model = model or paper_model()
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
 
     def random_motion(self, y0: float, t0: float) -> LinearMotion1D:
         speed = self.rng.uniform(self.model.v_min, self.model.v_max)

@@ -32,9 +32,14 @@ class PlanarQueryClass:
 class PlanarWorkloadGenerator:
     """Reproducible generator for planar populations and queries."""
 
-    def __init__(self, model: Optional[PlanarModel] = None, seed: int = 0):
+    def __init__(
+        self,
+        model: Optional[PlanarModel] = None,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
         self.model = model or PlanarModel(Terrain2D(1000.0, 1000.0), v_max=1.66)
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
 
     def random_motion(self, x0: float, y0: float, t0: float) -> LinearMotion2D:
         v = self.model.v_max

@@ -80,6 +80,7 @@ class RouteScenario:
         query_instants: int = 2,
         seed: int = 0,
         index_factory=None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.routes = routes
         self.n = n
@@ -89,7 +90,7 @@ class RouteScenario:
         self.reroutes_per_tick = reroutes_per_tick
         self.queries_per_instant = queries_per_instant
         self.query_instants = query_instants
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         kwargs = {} if index_factory is None else {"index_factory": index_factory}
         self.network = RouteNetworkIndex(routes, v_min, v_max, **kwargs)
         #: oid -> (route, motion)

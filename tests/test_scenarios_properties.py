@@ -1,0 +1,138 @@
+"""Property-based guarantees for the convoy and grid generators.
+
+Hypothesis drives the scenario parameters; the invariants under test
+are the ones the soak harness's oracles and the MOIST/grid papers'
+premises rest on:
+
+* convoy members never leave their convoy's declared velocity band,
+  and the band itself (jitter around the drifting base) never leaves
+  the model's ``[v_min, v_max]``;
+* grid positions and velocities are integral at every event, forever;
+* the grid-bucketed oracle agrees with brute force on arbitrary
+  integer workloads.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LinearMotion1D, MobileObject1D
+from repro.core.predicates import brute_force_1d
+from repro.core.queries import MORQuery1D
+from repro.workloads import ConvoyScenario, GridScenario
+
+SCENARIO_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@SCENARIO_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    convoys=st.integers(1, 10),
+    jitter=st.floats(0.01, 0.2),
+    n=st.integers(5, 60),
+    ticks=st.integers(1, 6),
+)
+def test_convoy_members_respect_declared_bands(seed, convoys, jitter, n, ticks):
+    scenario = ConvoyScenario(
+        n=n, seed=seed, convoys=convoys, jitter=jitter,
+        updates_per_tick=max(1, n // 3),
+    )
+    all_events = list(scenario.initial_events())
+    for tick in range(1, ticks + 1):
+        tick_events = scenario.tick_events(float(tick))
+        all_events.extend(tick_events)
+        # Membership can change mid-tick (defections), so the sound
+        # per-tick invariant is: each object's *last* event of the tick
+        # was drawn from the band of its final convoy (bands only
+        # drift at the next tick start).
+        last = {}
+        for event in tick_events:
+            last[event.oid] = event
+        for oid, event in last.items():
+            if event.kind == "deregister":
+                continue
+            lo, hi = scenario.convoy_band(scenario.convoy_of(oid))
+            assert lo - 1e-9 <= abs(event.v) <= hi + 1e-9
+    # Globally, every emitted speed ever stays inside the model band.
+    for event in all_events:
+        if event.kind == "deregister":
+            continue
+        speed = abs(event.v)
+        assert scenario.v_min - 1e-9 <= speed <= scenario.v_max + 1e-9
+
+
+@SCENARIO_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    convoys=st.integers(2, 8),
+    jitter=st.floats(0.01, 0.15),
+)
+def test_convoy_band_width_is_bounded_by_jitter(seed, convoys, jitter):
+    scenario = ConvoyScenario(n=10, seed=seed, convoys=convoys, jitter=jitter)
+    width = 2 * jitter * (scenario.v_max - scenario.v_min)
+    for cid in range(convoys):
+        lo, hi = scenario.convoy_band(cid)
+        assert abs((hi - lo) - width) < 1e-9
+        assert scenario.v_min - 1e-9 <= lo and hi <= scenario.v_max + 1e-9
+
+
+@SCENARIO_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    grid=st.integers(10, 2000),
+    v_grid=st.integers(1, 6),
+    n=st.integers(5, 60),
+    ticks=st.integers(1, 8),
+    churn=st.integers(0, 3),
+)
+def test_grid_positions_stay_integral(seed, grid, v_grid, n, ticks, churn):
+    scenario = GridScenario(
+        n=n, seed=seed, grid=grid, v_grid=v_grid,
+        updates_per_tick=max(1, n // 3),
+        arrivals_per_tick=churn, departures_per_tick=churn,
+    )
+    events = list(scenario.initial_events())
+    for tick in range(1, ticks + 1):
+        events.extend(scenario.tick_events(float(tick)))
+    for event in events:
+        if event.kind == "deregister":
+            continue
+        assert float(event.y0).is_integer()
+        assert float(event.v).is_integer()
+        assert float(event.t0).is_integer()
+        assert 0 <= event.y0 <= grid
+        assert 1 <= abs(event.v) <= v_grid
+    # Integrality is closed under extrapolation to any integer instant.
+    for oid, motion in scenario.motions.items():
+        at = float(ticks + 3)
+        assert (motion.y0 + motion.v * (at - motion.t0)).is_integer()
+
+
+@SCENARIO_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 80),
+    grid=st.integers(10, 500),
+    v_grid=st.integers(1, 5),
+    queries=st.integers(1, 20),
+)
+def test_grid_bucket_oracle_matches_brute_force(seed, n, grid, v_grid, queries):
+    rng = random.Random(seed)
+    motions = {}
+    for oid in range(n):
+        speed = rng.randint(1, v_grid) * rng.choice([-1, 1])
+        motions[oid] = LinearMotion1D(
+            float(rng.randint(0, grid)), float(speed),
+            float(rng.randint(0, 10)),
+        )
+    oracle = GridScenario.make_oracle(motions)
+    objects = [MobileObject1D(oid, m) for oid, m in motions.items()]
+    for _ in range(queries):
+        y1 = float(rng.randint(-grid // 4, grid))
+        y2 = y1 + rng.randint(0, grid // 2)
+        t1 = float(rng.randint(0, 30))
+        t2 = t1 + rng.randint(0, 15)
+        assert oracle.within(y1, y2, t1, t2) == brute_force_1d(
+            objects, MORQuery1D(y1, y2, t1, t2)
+        )

@@ -205,3 +205,105 @@ def test_rejected_operations_leave_subscriptions_untouched():
     for sid in subs:
         assert manager.result(sid) == before[sid]
         assert manager.drain_deltas(sid) == []
+
+
+@pytest.mark.durability
+def test_crash_mid_delivery_then_cold_restart_converges(tmp_path):
+    """Shard dies mid-subscription-delivery; the whole service is then
+    shut down *without recovering it* and rebuilt from disk.
+
+    ``restore_from_disk`` elects the newest motion per object across
+    replica WALs — the dead shard's log is stale, the survivor's is
+    not — so the restored catalog must equal the acknowledged pre-
+    shutdown catalog exactly, and a fresh subscription layer over the
+    restored service must agree with its own naive oracle from the
+    first advance.
+    """
+    from repro.core.predicates import matches_mor1
+    from repro.core.queries import MOR1Query
+
+    def build():
+        return FaultTolerantMotionService(
+            Y_MAX, V_MIN, V_MAX, shards=3, replication_factor=2,
+            checkpoint_every=8, wal_dir=str(tmp_path), wal_fsync="batch:4",
+        )
+
+    service = build()
+    rng = random.Random(91)
+    for oid in range(N_OBJECTS):
+        y0, v, _ = random_motion(rng, 0.0)
+        service.register(oid, y0, v, 0.0)
+
+    manager = SubscriptionManager(service)
+    subs = build_subscriptions(manager, rng)
+    replayed = {sid: set(manager.result(sid)) for sid in subs}
+
+    victim = 1
+    now = 0.0
+    for tick in range(6):
+        now += 1.0
+        for i in range(UPDATES_PER_TICK):
+            if tick == 2 and i == UPDATES_PER_TICK // 2:
+                # Mid-update-storm — which is mid-delivery: the
+                # listeners feeding the manager run inside the write
+                # path, so deltas are streaming as the shard dies.
+                service.kill_shard(victim, reason="chaos mid-delivery")
+            oid = rng.randrange(N_OBJECTS)
+            y0, v, t0 = random_motion(rng, now)
+            service.report(oid, y0, v, t0)  # r=2: always acknowledges
+        manager.advance(now)
+        for sid in subs:
+            replayed[sid] = replay_deltas(
+                replayed[sid], manager.drain_deltas(sid)
+            )
+            # The incremental stream stays exact while degraded.
+            assert manager.result(sid) == replayed[sid]
+    assert service.down_shards() == [victim]
+
+    # Graceful shutdown with the victim still dead: its on-disk WAL is
+    # a stale fork of history.
+    acknowledged = service.motion_snapshot()
+    manager.close()
+    service.close()
+
+    restored_service = build()
+    report = restored_service.restore_from_disk()
+    assert report["objects"] == len(acknowledged)
+    restored = restored_service.motion_snapshot()
+    assert restored.keys() == acknowledged.keys()
+    for oid, motion in acknowledged.items():
+        got = restored[oid]
+        assert (got.y0, got.v, got.t0) == (motion.y0, motion.v, motion.t0), oid
+    assert restored_service.down_shards() == []
+
+    # A fresh subscription layer over the restored service reconciles
+    # with its own naive oracle immediately.
+    restored_manager = SubscriptionManager(restored_service)
+    now += 1.0  # past the newest restored t0: clocks never run backwards
+    restored_manager.advance(now)
+    new_subs = build_subscriptions(restored_manager, random.Random(91 + 1))
+    new_replayed = {
+        sid: set(restored_manager.result(sid)) for sid in new_subs
+    }
+    for tick in range(3):
+        now += 1.0
+        for _ in range(UPDATES_PER_TICK):
+            oid = rng.randrange(N_OBJECTS)
+            y0, v, t0 = random_motion(rng, now)
+            restored_service.report(oid, y0, v, t0)
+        restored_manager.advance(now)
+        check_against_oracle(restored_manager, new_subs, new_replayed, now)
+    # And the restored catalog answers queries exactly like brute force.
+    snapshot = restored_service.motion_snapshot()
+    for _ in range(10):
+        y1 = rng.uniform(0.0, Y_MAX * 0.8)
+        y2 = y1 + rng.uniform(0.05, 0.2) * Y_MAX
+        expected = {
+            oid for oid, motion in snapshot.items()
+            if matches_mor1(motion, MOR1Query(y1, y2, now))
+        }
+        assert set(restored_service.snapshot_at(y1, y2, now)) == expected
+    counters = restored_manager.metrics.snapshot()["counters"]
+    assert counters.get("subscription_anomalies", 0) == 0
+    restored_manager.close()
+    restored_service.close()
