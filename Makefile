@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline rebalance-smoke rebalance-tests rebalance-baseline bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -19,6 +19,8 @@ check:
 	$(MAKE) durability-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) soak-tests
+	$(MAKE) rebalance-smoke
+	$(MAKE) rebalance-tests
 
 test: check service-smoke
 	pytest tests/
@@ -139,6 +141,30 @@ soak-baseline:
 		--check-every 3 --seed 42 \
 		--soak-json benchmarks/results/BENCH_soak.json
 	rm -rf .soak-wal
+
+# Live-repartitioning smoke: an adversarially skewed band-routed
+# population is re-cut and migrated by the rebalance controller under
+# a concurrent update burst, then differentially verified against a
+# faultless single database (exit 3 on any divergence or lost object).
+rebalance-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --rebalance --n 800 --shards 4 \
+		--updates 200 --seed 5 --verify
+
+# The rebalancing suites alone: router/ownership fencing units, the
+# double-write query window, the crash-at-every-migration-point ×
+# fsync matrix, destination-death aborts, and the mid-soak run.
+rebalance-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m rebalance
+
+# Regenerate the committed rebalance baseline at the acceptance scale
+# (10k objects, two controller passes around an update burst).
+rebalance-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --rebalance --n 10000 --shards 4 \
+		--updates 2000 --seed 42 --verify \
+		--rebalance-json benchmarks/results/BENCH_rebalance.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

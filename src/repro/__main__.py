@@ -152,6 +152,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return _cmd_subscription_bench(args)
     if args.batch:
         return _cmd_batch_bench(args)
+    if args.rebalance:
+        return _cmd_rebalance_bench(args)
     config = ServeBenchConfig(
         n=args.n,
         shards=args.shards,
@@ -221,6 +223,45 @@ def _cmd_batch_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rebalance_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --rebalance``: live repartitioning under load —
+    skew before/after, migration throughput, optional differential
+    verification (exit 3 on divergence)."""
+    from repro.service.rebalance_bench import (
+        RebalanceBenchConfig,
+        run_rebalance_bench,
+    )
+
+    config = RebalanceBenchConfig(
+        n=args.n,
+        shards=args.shards,
+        updates=args.updates,
+        replication=args.replication,
+        method=args.method,
+        seed=args.seed,
+        verify=args.verify,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        json_path=args.rebalance_json,
+    )
+    try:
+        report = run_rebalance_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.rebalance_json:
+        print(f"wrote {args.rebalance_json}")
+    if not report.ok:
+        print(
+            "serve-bench: rebalance run DIVERGED from the oracle: "
+            f"{report.verification}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def _cmd_soak_bench(args: argparse.Namespace) -> int:
     """``serve-bench --soak``: the full-stack concurrent soak under
     differential oracles (exit 3 on any divergence)."""
@@ -245,6 +286,7 @@ def _cmd_soak_bench(args: argparse.Namespace) -> int:
             horizon=args.horizon,
             crashes=args.crashes,
             restarts=args.restarts,
+            rebalances=args.rebalances,
             check_every=args.check_every,
             wal_dir=args.wal_dir,
             fsync=args.fsync,
@@ -411,6 +453,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--horizon", type=float, default=8.0,
                        help="sliding-window length for 'within' "
                             "subscriptions (--subscriptions mode)")
+    serve.add_argument("--rebalance", action="store_true",
+                       help="run the live-repartitioning bench: a "
+                            "skewed velocity-routed population is "
+                            "re-cut and migrated by the rebalance "
+                            "controller; reports skew before/after "
+                            "and migration throughput; combine with "
+                            "--verify for the differential check "
+                            "(exit 3 on divergence)")
+    serve.add_argument("--rebalance-json", metavar="PATH", default=None,
+                       help="dump the machine-readable rebalance "
+                            "report to PATH (--rebalance mode)")
     serve.add_argument("--soak", action="store_true",
                        help="run the full-stack soak: scenario-shaped "
                             "writes + batch queries + live subscriptions "
@@ -431,6 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--restarts", type=int, default=0,
                        help="graceful shutdown + restore_from_disk "
                             "cycles; needs --wal-dir (--soak mode)")
+    serve.add_argument("--rebalances", type=int, default=0,
+                       help="live repartitioning passes at scheduled "
+                            "quiescent ticks; needs --router velocity "
+                            "(--soak mode)")
     serve.add_argument("--check-every", type=int, default=2,
                        help="differential-oracle round every N ticks "
                             "(--soak mode)")

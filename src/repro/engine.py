@@ -188,6 +188,26 @@ class MotionDatabase:
             raise ObjectNotFoundError(f"object {oid} is not registered")
         return motion.position(t)
 
+    def motion_of(self, oid: int) -> LinearMotion1D:
+        """The current motion of one object (no extrapolation)."""
+        motion = self._motions.get(oid)
+        if motion is None:
+            raise ObjectNotFoundError(f"object {oid} is not registered")
+        return motion
+
+    def history_of(self, oid: int) -> list:
+        """Archived versions of one object, in ``closed_versions``
+        tuple form; empty without history or archived versions.  The
+        per-object slice a shard migration ships so the §7 archive
+        travels with the object."""
+        if not self._history_enabled:
+            return []
+        return [
+            version
+            for version in self._index.closed_versions()  # type: ignore[attr-defined]
+            if version[2] == oid
+        ]
+
     def apply_event(self, event: Dict) -> None:
         """Apply one log/trace event (the WAL-replay hook).
 

@@ -22,9 +22,15 @@
   (updates, then queries) epoch execution on a thread pool;
 * :mod:`repro.service.metrics` — :class:`MetricsRegistry`, counters +
   latency/I-O histograms per operation and per shard;
-* :mod:`repro.service.sharding` — the routing policies;
+* :mod:`repro.service.sharding` — the routing policies plus
+  :class:`OwnershipTable`, the fenced oid → shard catalog the
+  two-phase migration protocol runs on;
+* :mod:`repro.service.rebalance` — :class:`RebalanceController`,
+  live skew detection + band re-cutting + crash-safe two-phase
+  object migration;
 * :mod:`repro.service.bench` — the ``python -m repro serve-bench``
-  workload (``--faults --replication --verify`` for chaos runs).
+  workload (``--faults --replication --verify`` for chaos runs,
+  ``--rebalance`` for the live-repartitioning benchmark).
 """
 
 from repro.service.batch_bench import (
@@ -65,6 +71,7 @@ from repro.service.faults import (
     CrashPointSpec,
     FaultInjector,
     FaultSpec,
+    MIGRATION_CRASH_POINTS,
     flip_bit,
     truncate_file,
 )
@@ -74,7 +81,14 @@ from repro.service.metrics import (
     DURABILITY_COUNTERS,
     Histogram,
     MetricsRegistry,
+    REBALANCE_COUNTERS,
     wal_event_recorder,
+)
+from repro.service.rebalance import (
+    RebalanceConfig,
+    RebalanceController,
+    RebalancePlan,
+    RebalanceReport,
 )
 from repro.service.replication import (
     FaultTolerantMotionService,
@@ -82,7 +96,10 @@ from repro.service.replication import (
 )
 from repro.service.service import ROUTER_FACTORIES, ShardedMotionService
 from repro.service.sharding import (
+    BandRouter,
     HashRouter,
+    MigrationState,
+    OwnershipTable,
     ShardRouter,
     VelocityRouter,
     mix_oid,
@@ -90,6 +107,7 @@ from repro.service.sharding import (
 from repro.service.wal import ShardWAL
 
 __all__ = [
+    "BandRouter",
     "BatchBenchConfig",
     "BatchBenchReport",
     "BatchExecutor",
@@ -104,13 +122,21 @@ __all__ = [
     "FaultTolerantMotionService",
     "HashRouter",
     "Histogram",
+    "MIGRATION_CRASH_POINTS",
     "MetricsRegistry",
+    "MigrationState",
     "Nearest",
     "OpResult",
     "Operation",
+    "OwnershipTable",
     "PartialResult",
     "ProximityPairs",
+    "REBALANCE_COUNTERS",
     "ROUTER_FACTORIES",
+    "RebalanceConfig",
+    "RebalanceController",
+    "RebalancePlan",
+    "RebalanceReport",
     "Register",
     "Report",
     "RetryPolicy",

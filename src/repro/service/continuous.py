@@ -52,6 +52,15 @@ state.  While any shard is down, subscriptions are flagged
 ``stale`` (the :class:`~repro.service.replication.PartialResult`
 discipline lifted to standing queries) instead of raising.
 
+Live rebalancing needs no special handling here for the same reason:
+a two-phase migration moves an object *between shards* without ever
+changing its acknowledged motion (double-writes carry the same values
+to both participants, and cutover is a pure ownership flip), so the
+listener stream the manager consumes is migration-transparent —
+exactly one ``update`` per report, no spurious insert/delete at
+cutover.  Subscriptions therefore stay oracle-consistent through a
+migration storm; the rebalance tests check that with delta replay.
+
 Locking: the manager has a single lock and **never calls into the
 service while holding it** — services notify listeners while holding
 shard locks, so the opposite nesting would deadlock.  Listeners must

@@ -217,6 +217,14 @@ class BatchExecutor:
         routers the current owner is the best hint; unknown objects
         group under their would-be route so the duplicate/missing
         error surfaces in order with their neighbors.
+
+        ``shard_of`` reads the ownership table — never a route
+        recompute — so the hint stays correct across live rebalancing
+        (band edges can change between batches).  While a two-phase
+        migration is in flight the hint is the migration *source*;
+        that is only a grouping choice: the service's fenced
+        double-write applies the update to both participants
+        regardless of which pool task carries it.
         """
         service = self.service
         if isinstance(op, Deregister):

@@ -28,6 +28,13 @@ exact boundary (mid-record, pre-fsync, post-fsync-pre-rename, ...),
 and :func:`flip_bit` / :func:`truncate_file` corrupt the surviving
 files — together they drive the crash-at-every-boundary recovery
 matrix in ``tests/test_wal_durability.py``.
+
+The same injector doubles as the migration protocol's chaos lever:
+the rebalancing layer threads a ``crash_hook`` through every
+two-phase migration step and fires it at each protocol boundary
+(:data:`MIGRATION_CRASH_POINTS`), so ``tests/test_rebalance_chaos.py``
+can kill the process at every point of a migration and assert the
+recovery invariants.
 """
 
 from __future__ import annotations
@@ -275,6 +282,26 @@ class CrashPointInjector:
                 "hits": dict(self._hits),
                 "fired": list(self._fired),
             }
+
+
+#: The two-phase migration protocol's crash-point names, in protocol
+#: order.  Arm any of them on a :class:`CrashPointInjector` passed as
+#: the ``crash_hook`` of the migration primitives (or of
+#: :class:`~repro.service.rebalance.RebalanceController`) to kill the
+#: process at that exact boundary:
+#:
+#: * ``copy_sent`` — destination copy landed, source still owner;
+#: * ``pre_commit`` — cutover decided, nothing logged yet;
+#: * ``between_commits`` — destination's ``migrate_commit`` record is
+#:   durable, the source's is not (the classic torn-decision window);
+#: * ``post_commit`` — both records durable, in-memory ownership not
+#:   yet switched.
+MIGRATION_CRASH_POINTS = (
+    "rebalance.copy_sent",
+    "rebalance.pre_commit",
+    "rebalance.between_commits",
+    "rebalance.post_commit",
+)
 
 
 # -- deliberate file corruption (bit rot / torn hardware) ------------------------

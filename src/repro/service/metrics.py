@@ -269,6 +269,22 @@ DURABILITY_COUNTERS = {
 }
 
 
+#: Counter names the live-rebalancing subsystem books (service side:
+#: the fencing and band-layout counters; controller side: run and
+#: per-migration outcome accounting — see
+#: :mod:`repro.service.rebalance`).
+REBALANCE_COUNTERS = {
+    "rebalance_runs": "RebalanceController.rebalance_once invocations",
+    "rebalance_planned_moves": "objects displaced by a new band cut",
+    "rebalance_migrations": "two-phase migrations committed",
+    "rebalance_aborted": "migrations aborted back to their source",
+    "rebalance_band_updates": "band-layout changes installed",
+    "rebalance_double_writes": "reports landed on both participants "
+                               "of an open migration window",
+    "rebalance_fenced_writes": "double-writes rejected by a stale epoch",
+}
+
+
 def wal_event_recorder(registry: MetricsRegistry):
     """An ``on_event`` hook that books storage events into ``registry``.
 

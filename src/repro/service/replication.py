@@ -61,11 +61,14 @@ from repro.errors import (
     InvalidMotionError,
     ObjectNotFoundError,
     ShardUnavailableError,
+    SimulatedCrashError,
+    StaleMigrationError,
 )
 from repro.service.faults import FaultInjector
 from repro.service.health import CircuitBreaker, RetryPolicy
 from repro.service.metrics import MetricsRegistry, wal_event_recorder
-from repro.service.service import ShardedMotionService, ShardRouter
+from repro.service.service import ShardedMotionService, ShardRouter, _no_hook
+from repro.service.sharding import BandRouter, MigrationState
 from repro.service.wal import ShardWAL
 from repro.storage.backend import FileWALBackend
 from repro.vector.ops import (
@@ -384,10 +387,21 @@ class FaultTolerantMotionService(ShardedMotionService):
             while True:
                 with self._catalog_lock:
                     current = self._owner.get(oid)
+                    migration = self._ownership.migration_of(oid)
                 if current is None:
                     raise ObjectNotFoundError(
                         f"object {oid} is not registered"
                     )
+                if migration is not None:
+                    # Double-write window: placement comes from the
+                    # ownership table (never recomputed from motion);
+                    # the write lands on every live replica of both
+                    # participants' groups, carrying the fencing epoch.
+                    if self._report_migrating(
+                        oid, y0, v, t0, motion, migration, span
+                    ):
+                        return
+                    continue  # migration resolved under us; retry
                 target = (
                     self.router.route(oid, motion)
                     if self.router.motion_sensitive
@@ -433,32 +447,89 @@ class FaultTolerantMotionService(ShardedMotionService):
                     self._notify_update("update", oid, motion)
                     return
 
-    def deregister(self, oid: int) -> None:
-        """Remove an object from every live replica of its group."""
-        with self.metrics.span("deregister") as span:
+    def _report_migrating(
+        self, oid, y0, v, t0, motion, migration, span
+    ) -> bool:
+        """Fenced double-write to both participants' replica groups.
+
+        Returns ``False`` (caller retries) when the fencing check
+        fails: the migration resolved between the catalog read and the
+        lock acquisition, and writing with the stale epoch could land
+        an update on a shard that no longer holds the object.
+        """
+        src_group = set(self.replica_group(migration.source))
+        dst_group = set(self.replica_group(migration.dest))
+        with self._holding(src_group | dst_group):
             with self._catalog_lock:
-                primary = self._owner.get(oid)
-            if primary is None:
-                raise ObjectNotFoundError(f"object {oid} is not registered")
-            group = self.replica_group(primary)
-            with self._holding(group):
-                applied = 0
-                for shard in sorted(group):
-                    if self._apply_write(
-                        shard, "deregister",
-                        lambda db: db.deregister(oid),
-                        span, "delete", {"oid": oid},
-                    ):
-                        applied += 1
-                if applied == 0:
-                    raise ShardUnavailableError(
-                        f"deregister({oid}): no live replica in group "
-                        f"{group}"
-                    )
+                if not self._ownership.admits(oid, migration.epoch):
+                    self.metrics.counter(
+                        "rebalance_fenced_writes"
+                    ).increment()
+                    return False
+            applied = 0
+            for shard in sorted(src_group | dst_group):
+                if self._apply_write(
+                    shard, "report",
+                    lambda db: db.report(oid, y0, v, t0),
+                    span, "update",
+                    {"oid": oid, "y0": y0, "v": v, "t0": t0,
+                     "fence": migration.epoch},
+                ):
+                    applied += 1
+            if applied == 0:
+                raise ShardUnavailableError(
+                    f"report({oid}): no live replica in "
+                    f"{sorted(src_group | dst_group)}"
+                )
+            with self._catalog_lock:
+                self._catalog_motion[oid] = motion
+            self.metrics.counter("rebalance_double_writes").increment()
+            self._notify_update("update", oid, motion)
+            return True
+
+    def deregister(self, oid: int) -> None:
+        """Remove an object from every live replica of its group —
+        both groups, when a migration is in flight."""
+        with self.metrics.span("deregister") as span:
+            while True:
                 with self._catalog_lock:
-                    self._owner.pop(oid, None)
-                    self._catalog_motion.pop(oid, None)
-                self._notify_update("delete", oid, None)
+                    primary = self._owner.get(oid)
+                    migration = self._ownership.migration_of(oid)
+                if primary is None:
+                    raise ObjectNotFoundError(
+                        f"object {oid} is not registered"
+                    )
+                group = set(self.replica_group(primary))
+                if migration is not None:
+                    group |= set(self.replica_group(migration.dest))
+                with self._holding(group):
+                    with self._catalog_lock:
+                        if (
+                            self._owner.get(oid) != primary
+                            or self._ownership.migration_of(oid)
+                            != migration
+                        ):
+                            continue  # placement changed; retry
+                    applied = 0
+                    for shard in sorted(group):
+                        if oid not in self._shards[shard]:
+                            continue  # copy never landed on this shard
+                        if self._apply_write(
+                            shard, "deregister",
+                            lambda db: db.deregister(oid),
+                            span, "delete", {"oid": oid},
+                        ):
+                            applied += 1
+                    if applied == 0:
+                        raise ShardUnavailableError(
+                            f"deregister({oid}): no live replica in "
+                            f"group {sorted(group)}"
+                        )
+                    with self._catalog_lock:
+                        self._ownership.drop(oid)
+                        self._catalog_motion.pop(oid, None)
+                    self._notify_update("delete", oid, None)
+                    return
 
     def location_of(self, oid: int, t: float) -> float:
         """Point lookup with replica failover."""
@@ -483,6 +554,210 @@ class FaultTolerantMotionService(ShardedMotionService):
                 f"object {oid}: no live replica in group "
                 f"{self.replica_group(primary)}"
             )
+
+    # -- live rebalancing (durable two-phase migration) --------------------------
+
+    def set_bands(self, edges) -> int:
+        """Install a new band layout and log it to every live shard.
+
+        The epoch-numbered ``bands`` record is what lets
+        :meth:`restore_from_disk` re-elect owners with the same cut
+        the pre-crash service used — any one surviving shard's log is
+        enough.
+        """
+        if not isinstance(self.router, BandRouter):
+            raise ValueError(
+                f"router {getattr(self.router, 'name', self.router)!r} "
+                f"has no mutable bands; use router='velocity' or a "
+                f"BandRouter"
+            )
+        with self._holding(range(self.shard_count)):
+            with self._catalog_lock:
+                epoch = self.router.epoch + 1
+                self.router.set_bands(edges, epoch)
+                self.metrics.counter("rebalance_band_updates").increment()
+            layout = list(self.router.band_edges())
+            for node in self._nodes:
+                if node.up:
+                    node.wal.append("bands", edges=layout, epoch=epoch)
+        return epoch
+
+    def begin_migration(
+        self,
+        oid: int,
+        dest: int,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> MigrationState:
+        """Copy phase across replica groups.
+
+        Destination-group shards outside the source group receive the
+        snapshot (``migrate_in`` records, motion + §7 history); the
+        source primary logs a ``migrate_begin`` marker.  If no new
+        destination copy can land (the whole destination side is
+        down), the copy rolls back and :class:`ShardUnavailableError`
+        surfaces for the controller's abort accounting.
+        """
+        if not 0 <= dest < self.shard_count:
+            raise ValueError(f"destination shard {dest} out of range")
+        hook = crash_hook or _no_hook
+        with self.metrics.span("migrate_begin") as span:
+            with self._catalog_lock:
+                source = self._owner.get(oid)
+                motion = self._catalog_motion.get(oid)
+            if source is None or motion is None:
+                raise ObjectNotFoundError(f"object {oid} is not registered")
+            src_group = set(self.replica_group(source))
+            dst_group = set(self.replica_group(dest))
+            with self._holding(src_group | dst_group):
+                with self._catalog_lock:
+                    if self._owner.get(oid) != source:
+                        raise StaleMigrationError(
+                            f"object {oid} moved off shard {source} "
+                            f"before migration could begin"
+                        )
+                    state = self._ownership.begin_migration(
+                        oid, source, dest
+                    )
+                try:
+                    new_shards = sorted(dst_group - src_group)
+                    applied = 0
+                    for shard in new_shards:
+                        if self._apply_write(
+                            shard, "migrate_in",
+                            lambda db: self._install_copy(
+                                db, source, oid, motion
+                            ),
+                            span, "migrate_in",
+                            {"oid": oid, "y0": motion.y0, "v": motion.v,
+                             "t0": motion.t0, "epoch": state.epoch,
+                             "source": source},
+                        ):
+                            applied += 1
+                    if new_shards and applied == 0:
+                        raise ShardUnavailableError(
+                            f"migrate({oid}): no live destination in "
+                            f"group {sorted(dst_group)}"
+                        )
+                    src_node = self._nodes[source]
+                    if src_node.up:
+                        src_node.wal.append(
+                            "migrate_begin", oid=oid, epoch=state.epoch,
+                            dest=dest,
+                        )
+                    hook("rebalance.copy_sent")
+                except SimulatedCrashError:
+                    raise
+                except Exception:
+                    self._rollback_copy(state, span)
+                    raise
+                return state
+
+    def _install_copy(
+        self, db: MotionDatabase, source: int, oid: int,
+        motion: LinearMotion1D,
+    ) -> None:
+        """Apply one destination-side copy: register + §7 archive."""
+        db.register(oid, motion.y0, motion.v, motion.t0)
+        src_db = self._shards[source]
+        if db.history_enabled and src_db.history_enabled:
+            versions = src_db.history_of(oid)
+            if versions:
+                db.restore_history(versions)
+
+    def _rollback_copy(self, state: MigrationState, span) -> None:
+        """Undo a failed copy phase: drop landed destination copies,
+        log the abort, release the fencing state.  Best-effort on
+        purpose — dead shards are reconciled at recovery instead."""
+        dst_only = sorted(
+            set(self.replica_group(state.dest))
+            - set(self.replica_group(state.source))
+        )
+        for shard in dst_only:
+            if state.oid in self._shards[shard]:
+                self._apply_write(
+                    shard, "migrate_abort",
+                    lambda db: db.deregister(state.oid),
+                    span, "migrate_abort",
+                    {"oid": state.oid, "epoch": state.epoch,
+                     "role": "dest"},
+                )
+        src_node = self._nodes[state.source]
+        if src_node.up:
+            src_node.wal.append(
+                "migrate_abort", oid=state.oid, epoch=state.epoch,
+                role="source",
+            )
+        with self._catalog_lock:
+            try:
+                self._ownership.abort_migration(state)
+            except StaleMigrationError:
+                pass
+
+    def commit_migration(
+        self,
+        state: MigrationState,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Durable cutover: the fenced, epoch-numbered
+        ``migrate_commit`` record lands on *both* participants' WALs
+        (destination first — its presence is what recovery treats as
+        the commit decision), then the source side physically drops
+        its copies under ``migrate_out`` records.
+        """
+        hook = crash_hook or _no_hook
+        with self.metrics.span("migrate_commit") as span:
+            src_group = set(self.replica_group(state.source))
+            dst_group = set(self.replica_group(state.dest))
+            with self._holding(src_group | dst_group):
+                with self._catalog_lock:
+                    if not self._ownership.admits(state.oid, state.epoch):
+                        raise StaleMigrationError(
+                            f"cutover of {state} rejected: epoch is stale"
+                        )
+                dst_node = self._nodes[state.dest]
+                if not dst_node.up:
+                    raise ShardUnavailableError(
+                        f"migrate({state.oid}): destination shard "
+                        f"{state.dest} died before cutover"
+                    )
+                hook("rebalance.pre_commit")
+                dst_node.wal.append(
+                    "migrate_commit", oid=state.oid, epoch=state.epoch,
+                    role="dest", source=state.source,
+                )
+                hook("rebalance.between_commits")
+                src_node = self._nodes[state.source]
+                if src_node.up:
+                    src_node.wal.append(
+                        "migrate_commit", oid=state.oid,
+                        epoch=state.epoch, role="source",
+                        dest=state.dest,
+                    )
+                for shard in sorted(src_group - dst_group):
+                    self._apply_write(
+                        shard, "migrate_out",
+                        lambda db: db.deregister(state.oid),
+                        span, "migrate_out",
+                        {"oid": state.oid, "epoch": state.epoch,
+                         "dest": state.dest},
+                    )
+                hook("rebalance.post_commit")
+                with self._catalog_lock:
+                    self._ownership.commit_migration(state)
+
+    def abort_migration(self, state: MigrationState) -> None:
+        """Fenced abort: destination copies are dropped (with
+        ``migrate_abort`` records), the source keeps serving."""
+        with self.metrics.span("migrate_abort") as span:
+            src_group = set(self.replica_group(state.source))
+            dst_group = set(self.replica_group(state.dest))
+            with self._holding(src_group | dst_group):
+                with self._catalog_lock:
+                    if not self._ownership.admits(state.oid, state.epoch):
+                        raise StaleMigrationError(
+                            f"abort of {state} rejected: epoch is stale"
+                        )
+                self._rollback_copy(state, span)
 
     # -- queries ----------------------------------------------------------------
 
@@ -714,6 +989,17 @@ class FaultTolerantMotionService(ShardedMotionService):
                     for oid, primary in self._owner.items()
                     if shard in self.replica_group(primary)
                 }
+                # A migration destination legitimately holds a copy
+                # the owner map does not describe yet; dropping it
+                # here would undo the copy phase mid-flight.
+                for state in self._ownership.migrations().values():
+                    if (
+                        shard in self.replica_group(state.dest)
+                        and state.oid in self._catalog_motion
+                    ):
+                        expected[state.oid] = self._catalog_motion[
+                            state.oid
+                        ]
             current = {obj.oid: obj.motion for obj in db.objects()}
             dropped = repaired = 0
             for oid in sorted(set(current) - set(expected)):
@@ -778,6 +1064,36 @@ class FaultTolerantMotionService(ShardedMotionService):
                     "replayed": len(node.wal.tail()),
                     "objects": len(db),
                 })
+            # Reinstall the newest band layout any shard's log
+            # retained *before* electing owners, so re-routing uses
+            # the same cut the pre-crash service did.  In-flight
+            # migrations need no per-object resolution: the election
+            # below lands every object on exactly the group the
+            # restored router names (the copy phase double-wrote
+            # identical motions to both sides), which is precisely
+            # "complete or abort cleanly".
+            bands: Optional[Dict] = None
+            fence_floor = 0
+            migrations_resolved: Set[int] = set()
+            for node in self._nodes:
+                record = node.wal.bands_record()
+                if record is not None and (
+                    bands is None
+                    or int(record.get("epoch", 0))
+                    > int(bands.get("epoch", 0))
+                ):
+                    bands = record
+                for oid, rec in node.wal.inflight_migrations().items():
+                    migrations_resolved.add(oid)
+                    fence_floor = max(
+                        fence_floor, int(rec.get("epoch", 0))
+                    )
+            if bands is not None and isinstance(self.router, BandRouter):
+                epoch = int(bands["epoch"])
+                if epoch > self.router.epoch:
+                    self.router.set_bands(bands["edges"], epoch)
+            with self._catalog_lock:
+                self._ownership.observe_epoch(fence_floor)
             # Elect the authoritative motion per object across replicas.
             elected: Dict[int, LinearMotion1D] = {}
             for db in recovered:
@@ -827,6 +1143,12 @@ class FaultTolerantMotionService(ShardedMotionService):
             "reconciled": repaired,
             "dropped": dropped,
             "shards": per_shard,
+            "bands_epoch": (
+                self.router.epoch
+                if isinstance(self.router, BandRouter)
+                else None
+            ),
+            "migrations_resolved": len(migrations_resolved),
         }
 
     def close(self) -> None:

@@ -41,11 +41,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.model import LinearMotion1D, MotionModel
 from repro.engine import MotionDatabase
-from repro.errors import InvalidMotionError, ObjectNotFoundError
+from repro.errors import (
+    InvalidMotionError,
+    ObjectNotFoundError,
+    SimulatedCrashError,
+    StaleMigrationError,
+)
 from repro.indexes.base import MobileIndex1D
 from repro.io_sim.stats import combine_snapshots
 from repro.service.metrics import MetricsRegistry
-from repro.service.sharding import HashRouter, ShardRouter, VelocityRouter
+from repro.service.sharding import (
+    BandRouter,
+    HashRouter,
+    MigrationState,
+    OwnershipTable,
+    ShardRouter,
+    VelocityRouter,
+)
 from repro.vector.cache import QueryResultCache, copy_result
 from repro.vector.ops import (
     Nearest,
@@ -59,7 +71,12 @@ from repro.vector.ops import (
 ROUTER_FACTORIES: Dict[str, Callable[[int, float], ShardRouter]] = {
     "hash": lambda shards, v_max: HashRouter(shards),
     "velocity": lambda shards, v_max: VelocityRouter(shards, v_max),
+    "band": lambda shards, v_max: BandRouter(shards, v_max),
 }
+
+
+def _no_hook(point: str) -> None:
+    """Default (disarmed) migration crash-point hook."""
 
 
 class ShardedMotionService:
@@ -128,7 +145,12 @@ class ShardedMotionService:
         ]
         self._locks = [threading.RLock() for _ in range(shards)]
         self._catalog_lock = threading.RLock()
-        self._owner: Dict[int, int] = {}
+        # The ownership table is the catalog's routing half: the plain
+        # owner dict plus in-flight two-phase migrations and their
+        # fencing epochs.  `_owner` aliases the table's dict so every
+        # pre-existing code path keeps its contract.
+        self._ownership = OwnershipTable()
+        self._owner: Dict[int, int] = self._ownership.owner
         self._update_listeners: List[
             Callable[[str, int, Optional[LinearMotion1D]], None]
         ] = []
@@ -174,12 +196,42 @@ class ShardedMotionService:
             return oid in self._owner
 
     def shard_of(self, oid: int) -> int:
-        """The shard currently owning ``oid``."""
+        """The shard currently owning ``oid``.
+
+        This is the *ownership table* answer, never a route recompute:
+        once registered, an object's placement is whatever the catalog
+        says, and only a committed migration (inline on a
+        speed-crossing report, or the rebalance controller's two-phase
+        protocol) changes it.  While a migration is in flight this
+        reports the source (ownership moves at cutover); use
+        :meth:`owners_of` for the full residency set.
+        """
         with self._catalog_lock:
             shard = self._owner.get(oid)
         if shard is None:
             raise ObjectNotFoundError(f"object {oid} is not registered")
         return shard
+
+    def owners_of(self, oid: int) -> Tuple[int, ...]:
+        """Every shard holding ``oid`` right now: ``(owner,)`` in
+        steady state, ``(source, dest)`` during a two-phase migration
+        — the two-shard ownership set queries merge over."""
+        with self._catalog_lock:
+            return self._ownership.owners_of(oid)
+
+    def migration_of(self, oid: int) -> Optional[MigrationState]:
+        """The in-flight migration for ``oid``, or ``None``."""
+        with self._catalog_lock:
+            return self._ownership.migration_of(oid)
+
+    def primary_counts(self) -> List[int]:
+        """Objects per owning shard (the catalog view the rebalance
+        controller's skew detector reads)."""
+        counts = [0] * self.shard_count
+        with self._catalog_lock:
+            for shard in self._owner.values():
+                counts[shard] += 1
+        return counts
 
     def shard_populations(self) -> List[Set[int]]:
         """Per-shard resident oid sets (each shard locked in turn)."""
@@ -272,10 +324,23 @@ class ShardedMotionService:
             while True:
                 with self._catalog_lock:
                     current = self._owner.get(oid)
+                    migration = self._ownership.migration_of(oid)
                 if current is None:
                     raise ObjectNotFoundError(
                         f"object {oid} is not registered"
                     )
+                if migration is not None:
+                    # Double-write window: the ownership table, not the
+                    # router, decides placement — recomputing the route
+                    # from motion here would fork the object onto a
+                    # third shard mid-migration.  The write applies to
+                    # both participants and emits exactly one update
+                    # notification.
+                    if self._report_double_write(
+                        oid, y0, v, t0, motion, migration, span
+                    ):
+                        return
+                    continue  # migration resolved under us; retry
                 target = (
                     self.router.route(oid, motion)
                     if self.router.motion_sensitive
@@ -316,28 +381,269 @@ class ShardedMotionService:
                     for shard in reversed(held):
                         self._locks[shard].release()
 
-    def deregister(self, oid: int) -> None:
-        """Remove an object from its shard."""
-        with self.metrics.span("deregister") as span:
+    def _report_double_write(
+        self,
+        oid: int,
+        y0: float,
+        v: float,
+        t0: float,
+        motion: LinearMotion1D,
+        migration: MigrationState,
+        span,
+    ) -> bool:
+        """Apply one report to both migration participants (fenced).
+
+        Returns ``True`` when the write landed; ``False`` when the
+        fencing check failed — the migration was committed or aborted
+        between the catalog read and the lock acquisition — and the
+        caller must re-resolve ownership and retry.
+        """
+        held = sorted({migration.source, migration.dest})
+        for shard in held:
+            self._locks[shard].acquire()
+        try:
             with self._catalog_lock:
-                shard = self._owner.get(oid)
-            if shard is None:
-                raise ObjectNotFoundError(f"object {oid} is not registered")
-            with self._locks[shard]:
+                if not self._ownership.admits(oid, migration.epoch):
+                    self.metrics.counter(
+                        "rebalance_fenced_writes"
+                    ).increment()
+                    return False
+            for shard in held:
                 before = self._shards[shard].io_snapshot()
-                self._shards[shard].deregister(oid)
+                self._shards[shard].report(oid, y0, v, t0)
                 span.add_shard_io(
                     shard, self._shards[shard].io_delta_since(before)
                 )
+            self.metrics.counter("rebalance_double_writes").increment()
+            self._notify_update("update", oid, motion)
+            return True
+        finally:
+            for shard in reversed(held):
+                self._locks[shard].release()
+
+    def deregister(self, oid: int) -> None:
+        """Remove an object; during a migration, from both shards."""
+        with self.metrics.span("deregister") as span:
+            while True:
                 with self._catalog_lock:
-                    del self._owner[oid]
-                self._notify_update("delete", oid, None)
+                    shard = self._owner.get(oid)
+                    migration = self._ownership.migration_of(oid)
+                if shard is None:
+                    raise ObjectNotFoundError(
+                        f"object {oid} is not registered"
+                    )
+                held = (
+                    sorted({migration.source, migration.dest})
+                    if migration is not None
+                    else [shard]
+                )
+                for lock_shard in held:
+                    self._locks[lock_shard].acquire()
+                try:
+                    with self._catalog_lock:
+                        if (
+                            self._owner.get(oid) != shard
+                            or self._ownership.migration_of(oid)
+                            != migration
+                        ):
+                            continue  # placement changed; retry
+                    for db_shard in held:
+                        db = self._shards[db_shard]
+                        if oid not in db:
+                            continue  # copy never landed on this side
+                        before = db.io_snapshot()
+                        db.deregister(oid)
+                        span.add_shard_io(
+                            db_shard, db.io_delta_since(before)
+                        )
+                    with self._catalog_lock:
+                        self._ownership.drop(oid)
+                    self._notify_update("delete", oid, None)
+                    return
+                finally:
+                    for lock_shard in reversed(held):
+                        self._locks[lock_shard].release()
 
     def location_of(self, oid: int, t: float) -> float:
         """Extrapolated location of one object at time ``t``."""
         shard = self.shard_of(oid)
         with self._locks[shard]:
             return self._shards[shard].location_of(oid, t)
+
+    # -- live rebalancing (two-phase object migration) ---------------------------
+    #
+    # The protocol (driven by repro.service.rebalance, usable alone):
+    #
+    #   begin_migration  COPYING: the destination gets a snapshot of
+    #                    the object's motion + §7 history; from here
+    #                    until resolution, reports double-write to
+    #                    both shards and reads merge over both.
+    #   commit_migration CUTOVER → COMMITTED: fenced by the migration
+    #                    epoch; ownership moves to the destination and
+    #                    the source copy is dropped.
+    #   abort_migration  → ABORTED: fenced; the destination copy is
+    #                    dropped and ownership stays with the source.
+    #
+    # Crash-point hooks fire at the four protocol boundaries
+    # (rebalance.copy_sent / .pre_commit / .between_commits /
+    # .post_commit, see repro.service.faults.MIGRATION_CRASH_POINTS).
+    # A SimulatedCrashError from a hook is process death: no cleanup
+    # runs, exactly as a killed process would leave things.
+
+    def set_bands(self, edges) -> int:
+        """Install a new band layout on the router (the rebalance
+        controller's split/merge lever); returns the new band epoch.
+        """
+        if not isinstance(self.router, BandRouter):
+            raise ValueError(
+                f"router {getattr(self.router, 'name', self.router)!r} "
+                f"has no mutable bands; use router='velocity' or a "
+                f"BandRouter"
+            )
+        with self._catalog_lock:
+            epoch = self.router.epoch + 1
+            self.router.set_bands(edges, epoch)
+            self.metrics.counter("rebalance_band_updates").increment()
+        return epoch
+
+    def begin_migration(
+        self,
+        oid: int,
+        dest: int,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> MigrationState:
+        """Copy phase: open a fenced migration of ``oid`` to ``dest``.
+
+        On return the object is resident on both shards and the
+        returned state is the fencing token for the cutover.  Any
+        failure (other than an injected process crash) rolls the copy
+        back so no partial destination copy survives.
+        """
+        if not 0 <= dest < self.shard_count:
+            raise ValueError(f"destination shard {dest} out of range")
+        hook = crash_hook or _no_hook
+        with self.metrics.span("migrate_begin") as span:
+            with self._catalog_lock:
+                source = self._owner.get(oid)
+            if source is None:
+                raise ObjectNotFoundError(f"object {oid} is not registered")
+            held = sorted({source, dest})
+            for shard in held:
+                self._locks[shard].acquire()
+            try:
+                with self._catalog_lock:
+                    if self._owner.get(oid) != source:
+                        raise StaleMigrationError(
+                            f"object {oid} moved off shard {source} "
+                            f"before migration could begin"
+                        )
+                    state = self._ownership.begin_migration(
+                        oid, source, dest
+                    )
+                try:
+                    motion = self._shards[source].motion_of(oid)
+                    before = self._shards[dest].io_snapshot()
+                    self._shards[dest].register(
+                        oid, motion.y0, motion.v, motion.t0
+                    )
+                    span.add_shard_io(
+                        dest, self._shards[dest].io_delta_since(before)
+                    )
+                    self._copy_history(source, dest, oid)
+                    hook("rebalance.copy_sent")
+                except SimulatedCrashError:
+                    raise
+                except Exception:
+                    with self._catalog_lock:
+                        try:
+                            self._ownership.abort_migration(state)
+                        except StaleMigrationError:
+                            pass
+                    if oid in self._shards[dest]:
+                        self._shards[dest].deregister(oid)
+                    raise
+                return state
+            finally:
+                for shard in reversed(held):
+                    self._locks[shard].release()
+
+    def commit_migration(
+        self,
+        state: MigrationState,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Cutover: fenced ownership transfer to the destination."""
+        hook = crash_hook or _no_hook
+        with self.metrics.span("migrate_commit") as span:
+            held = sorted({state.source, state.dest})
+            for shard in held:
+                self._locks[shard].acquire()
+            try:
+                with self._catalog_lock:
+                    if not self._ownership.admits(state.oid, state.epoch):
+                        raise StaleMigrationError(
+                            f"cutover of {state} rejected: epoch is stale"
+                        )
+                hook("rebalance.pre_commit")
+                self._append_commit_records(state, hook)
+                before = self._shards[state.source].io_snapshot()
+                self._shards[state.source].deregister(state.oid)
+                span.add_shard_io(
+                    state.source,
+                    self._shards[state.source].io_delta_since(before),
+                )
+                hook("rebalance.post_commit")
+                with self._catalog_lock:
+                    self._ownership.commit_migration(state)
+            finally:
+                for shard in reversed(held):
+                    self._locks[shard].release()
+
+    def abort_migration(self, state: MigrationState) -> None:
+        """Fenced abort: drop the destination copy, keep the source."""
+        with self.metrics.span("migrate_abort") as span:
+            held = sorted({state.source, state.dest})
+            for shard in held:
+                self._locks[shard].acquire()
+            try:
+                with self._catalog_lock:
+                    if not self._ownership.admits(state.oid, state.epoch):
+                        raise StaleMigrationError(
+                            f"abort of {state} rejected: epoch is stale"
+                        )
+                dst = self._shards[state.dest]
+                if state.oid in dst:
+                    before = dst.io_snapshot()
+                    dst.deregister(state.oid)
+                    span.add_shard_io(
+                        state.dest, dst.io_delta_since(before)
+                    )
+                with self._catalog_lock:
+                    self._ownership.abort_migration(state)
+            finally:
+                for shard in reversed(held):
+                    self._locks[shard].release()
+
+    def _append_commit_records(self, state: MigrationState, hook) -> None:
+        """Durability seam for the cutover's two WAL appends.
+
+        The base service has no WAL, so only the protocol's crash
+        point between the two appends is observed; the fault-tolerant
+        subclass appends the fenced ``migrate_commit`` records to both
+        participants' logs here.
+        """
+        hook("rebalance.between_commits")
+
+    def _copy_history(self, source: int, dest: int, oid: int) -> None:
+        """Ship the object's §7 archive with the copy (both ends must
+        keep history; otherwise there is nothing to move)."""
+        src_db = self._shards[source]
+        dst_db = self._shards[dest]
+        if not (src_db.history_enabled and dst_db.history_enabled):
+            return
+        versions = src_db.history_of(oid)
+        if versions:
+            dst_db.restore_history(versions)
 
     # -- queries ----------------------------------------------------------------
 
@@ -372,17 +678,21 @@ class ShardedMotionService:
 
         Tie-break: equal distances order by ascending object id — the
         same total order :func:`repro.extensions.neighbors.knn_at`
-        uses, so results are byte-identical to a single database.
+        uses, so results are byte-identical to a single database.  The
+        merge is keyed by oid: an object resident on two shards (a
+        migration's double-write window) contributes one candidate,
+        not two.
         """
         with self.metrics.span("nearest") as span:
-            candidates: List[Tuple[int, float]] = []
+            best: Dict[int, float] = {}
             for i, shard in enumerate(self._shards):
                 with self._locks[i]:
                     before = shard.io_snapshot()
-                    candidates.extend(shard.nearest(y, t, k))
+                    for oid, dist in shard.nearest(y, t, k):
+                        best[oid] = dist
                     span.add_shard_io(i, shard.io_delta_since(before))
-            candidates.sort(key=lambda pair: (pair[1], pair[0]))
-            return candidates[:k]
+            ranked = sorted(best.items(), key=lambda pair: (pair[1], pair[0]))
+            return ranked[:k]
 
     def proximity_pairs(
         self, d: float, t1: float, t2: float
@@ -393,7 +703,9 @@ class ShardedMotionService:
         see one consistent population across shards.  Within-shard
         pairs come from each shard's self-join; cross-shard pairs from
         directed candidate exchange between each shard pair, visited
-        once (``i < j``).
+        once (``i < j``).  Self-pairs are filtered from the exchange:
+        an object resident on two shards (a migration in flight)
+        would otherwise pair with its own copy.
         """
         with self.metrics.span("proximity_pairs") as span:
             for lock in self._locks:
@@ -413,7 +725,9 @@ class ShardedMotionService:
                             j, inner.io_delta_since(before_j)
                         )
                         pairs |= {
-                            (min(a, b), max(a, b)) for a, b in directed
+                            (min(a, b), max(a, b))
+                            for a, b in directed
+                            if a != b
                         }
                 return pairs
             finally:

@@ -18,6 +18,28 @@ Records and checkpoints reuse the portable formats of
 the ``population_to_json`` payload, so a WAL dump replays with the
 same tooling as any workload trace.
 
+The live-rebalancing subsystem adds its own record kinds (all carrying
+the migration's fencing ``epoch``; see ``docs/api.md`` for the frame
+table):
+
+* ``migrate_in`` — destination-side copy (replays as
+  register-if-absent);
+* ``migrate_begin`` — source-side copy-phase marker (no database
+  effect; tracked as in-flight);
+* ``migrate_commit`` — the fenced cutover record, appended to *both*
+  participants' logs (no database effect; closes the in-flight entry);
+* ``migrate_out`` — source-side physical removal after cutover
+  (replays as deregister-if-present);
+* ``migrate_abort`` — abort marker / destination copy removal
+  (deregister-if-present);
+* ``bands`` — an epoch-numbered band-layout change from
+  ``set_bands``; recovery installs the newest layout any shard
+  retained before electing owners.
+
+The latest ``bands`` record and the open in-flight migrations survive
+checkpoint truncation: :meth:`checkpoint` carries them in the payload
+and :meth:`recover` restores them.
+
 The WAL keeps its mirrors (checkpoint, redo tail, counters) in memory
 as working state and writes *through* a persistence backend:
 
@@ -52,7 +74,11 @@ import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.engine import MotionDatabase
-from repro.errors import DegradedResultWarning
+from repro.errors import (
+    DegradedResultWarning,
+    InvalidMotionError,
+    ObjectNotFoundError,
+)
 from repro.storage.backend import MemoryWALBackend
 from repro.workloads.serialization import (
     population_from_json,
@@ -107,10 +133,17 @@ class ShardWAL:
         self._checkpoint: Optional[Dict] = checkpoint
         self._records: List[WALRecord] = tail
         self._seq = 0
+        self._bands: Optional[Dict] = None
+        self._inflight: Dict[int, WALRecord] = {}
         if checkpoint is not None:
             self._seq = int(checkpoint.get("seq", 0))
+            self._bands = checkpoint.get("bands")
+            for record in checkpoint.get("migrations") or []:
+                self._track(record)
         if tail:
             self._seq = max(self._seq, int(tail[-1].get("seq", 0)))
+        for record in tail:
+            self._track(record)
 
     def _event(self, name: str, delta: int = 1) -> None:
         if self._on_event is not None:
@@ -132,9 +165,29 @@ class ShardWAL:
         self._backend.append(record)
         self._seq = seq
         self._records.append(record)
+        self._track(record)
         self._appends += 1
         self._event("wal_append")
         return record
+
+    def _track(self, record: WALRecord) -> None:
+        """Maintain the migration/band mirrors from one record.
+
+        ``migrate_begin`` (source side) and ``migrate_in``
+        (destination side) open an in-flight entry for their oid;
+        ``migrate_commit`` / ``migrate_out`` / ``migrate_abort`` close
+        it.  ``bands`` records keep only the newest epoch.
+        """
+        kind = record.get("kind")
+        if kind == "bands":
+            if self._bands is None or int(record.get("epoch", 0)) >= int(
+                self._bands.get("epoch", 0)
+            ):
+                self._bands = record
+        elif kind in ("migrate_begin", "migrate_in"):
+            self._inflight[int(record["oid"])] = record
+        elif kind in ("migrate_commit", "migrate_out", "migrate_abort"):
+            self._inflight.pop(int(record["oid"]), None)
 
     def maybe_checkpoint(self, db: MotionDatabase) -> bool:
         """Checkpoint when the log tail reached ``checkpoint_every``."""
@@ -154,6 +207,8 @@ class ShardWAL:
             "now": db.now,
             "population": population_to_json(db.objects()),
             "history": db.history_snapshot(),
+            "bands": self._bands,
+            "migrations": list(self._inflight.values()),
         }
         self._backend.checkpoint(payload)
         self._checkpoint = payload
@@ -193,10 +248,46 @@ class ShardWAL:
                     )
             db.restore_clock(self._checkpoint["now"])
         for record in self._records:
-            db.apply_event(record)
+            self._replay(db, record)
         self._recoveries += 1
         self._event("wal_recovery")
         return db
+
+    @staticmethod
+    def _replay(db: MotionDatabase, record: WALRecord) -> None:
+        """Apply one record, including the migration protocol's kinds.
+
+        Replay is idempotent where the protocol needs it: a
+        ``migrate_in`` whose object already arrived (via the
+        checkpoint, or a replicated insert) degrades to a report, and
+        a ``migrate_out`` / ``migrate_abort`` for an object already
+        gone is a no-op — recovery after a crash between the two
+        commit appends must be able to redo the cutover tail safely.
+        """
+        kind = record.get("kind")
+        if kind in ("migrate_begin", "migrate_commit", "bands"):
+            return  # protocol markers: no database effect
+        if kind == "migrate_in":
+            oid = int(record["oid"])
+            y0 = float(record["y0"])
+            v = float(record["v"])
+            t0 = float(record["t0"])
+            try:
+                db.register(oid, y0, v, t0)
+            except InvalidMotionError:
+                db.report(oid, y0, v, t0)
+            return
+        if kind == "migrate_out" or (
+            kind == "migrate_abort" and record.get("role") == "dest"
+        ):
+            try:
+                db.deregister(int(record["oid"]))
+            except ObjectNotFoundError:
+                pass
+            return
+        if kind == "migrate_abort":
+            return  # source-side marker: the source keeps the object
+        db.apply_event(record)
 
     # -- durability pass-through -----------------------------------------------
 
@@ -222,6 +313,14 @@ class ShardWAL:
     def tail(self) -> List[WALRecord]:
         """Records appended since the last checkpoint (a copy)."""
         return list(self._records)
+
+    def bands_record(self) -> Optional[Dict]:
+        """The newest band-layout record this log retains, if any."""
+        return self._bands
+
+    def inflight_migrations(self) -> Dict[int, WALRecord]:
+        """Open migrations (begin/in without commit/out/abort), by oid."""
+        return dict(self._inflight)
 
     def tail_json(self) -> str:
         """The log tail in the portable trace format."""

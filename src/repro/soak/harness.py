@@ -14,7 +14,11 @@ against a :class:`FaultTolerantMotionService` while simultaneously:
   recovering them through WAL replay + catalog reconciliation (PR 3);
 * optionally cycling the whole service through a graceful shutdown and
   ``restore_from_disk()`` cold restart over the durable backend (PR 6),
-  asserting the restored catalog converges to the acknowledged one.
+  asserting the restored catalog converges to the acknowledged one;
+* optionally firing the live rebalance controller at scheduled
+  quiescent ticks (``rebalances > 0``, band routers only): the skewed
+  population is re-cut and migrated mid-soak, and the very next
+  differential round must still match every oracle.
 
 Determinism: the *schedule* (every generated event) is a pure function
 of the seed, and its SHA-256 digest is reported.  With ``threads=1``
@@ -31,7 +35,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -93,6 +97,7 @@ class SoakConfig:
     horizon: float = 20.0
     crashes: int = 0
     restarts: int = 0
+    rebalances: int = 0
     check_every: int = 2
     queries_per_check: int = 6
     knn_per_check: int = 2
@@ -113,6 +118,12 @@ class SoakConfig:
                              "rebuilds the service from durable WALs)")
         if self.crashes > 0 and self.shards < 2:
             raise ValueError("crash injection needs at least 2 shards")
+        if self.rebalances > 0 and self.router not in ("velocity", "band"):
+            raise ValueError(
+                "--rebalances needs a band router "
+                "(--router velocity); hash routing has no bands to "
+                "re-cut"
+            )
 
 
 @dataclass
@@ -131,6 +142,7 @@ class SoakReport:
     subscription_stats: Dict[str, object]
     schedule_sha256: str
     trace_sha256: Optional[str]
+    rebalance: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -147,6 +159,7 @@ class SoakReport:
             "divergences": self.divergences,
             "divergence_labels": self.divergence_labels[:20],
             "recovery": self.recovery,
+            "rebalance": self.rebalance,
             "subscriptions": self.subscription_stats,
             "determinism": {
                 "schedule_sha256": self.schedule_sha256,
@@ -182,6 +195,8 @@ class SoakReport:
             )
         lines.append(f"  checks: {self.checks}")
         lines.append(f"  recovery: {self.recovery}")
+        if self.rebalance:
+            lines.append(f"  rebalance: {self.rebalance}")
         lines.append(
             f"  divergences: {self.divergences}"
             + (f" {self.divergence_labels[:5]}" if self.divergences else "")
@@ -220,6 +235,19 @@ class _CrashPlan:
         ticks = []
         for i in range(config.restarts):
             tick = round(config.ticks * (i + 1) / (config.restarts + 1))
+            ticks.append(min(max(tick, 1), config.ticks))
+        return sorted(set(ticks))
+
+    def rebalance_ticks(self, config: SoakConfig) -> List[int]:
+        """Evenly spaced live-repartitioning ticks (quiescent points:
+        the tick's write barrier and subscription drain are behind
+        us, the differential round is ahead — so every check sees the
+        post-migration state)."""
+        if config.rebalances <= 0:
+            return []
+        ticks = []
+        for i in range(config.rebalances):
+            tick = round(config.ticks * (i + 1) / (config.rebalances + 1))
             ticks.append(min(max(tick, 1), config.ticks))
         return sorted(set(ticks))
 
@@ -413,6 +441,8 @@ def run_soak(config: SoakConfig) -> SoakReport:
         "crashes": 0, "recoveries": 0, "replayed": 0,
         "reconciled": 0, "restarts": 0, "restored_objects": 0,
     }
+    rebalance_ticks = set(plan.rebalance_ticks(config))
+    rebalance_stats: Dict[str, object] = {}
     deltas_drained = 0
 
     pool = (
@@ -538,6 +568,43 @@ def run_soak(config: SoakConfig) -> SoakReport:
                         f"restart@{tick}:{len(before)}".encode()
                     )
 
+            # Scheduled live repartitioning (quiescent, pre-check —
+            # the differential round below validates the migrated
+            # state against the oracles).
+            if tick in rebalance_ticks:
+                from repro.service.rebalance import (
+                    RebalanceConfig,
+                    RebalanceController,
+                )
+
+                controller = RebalanceController(
+                    service, RebalanceConfig(skew_threshold=1.1)
+                )
+                result = controller.rebalance_once(force=True)
+                rebalance_stats.setdefault(
+                    "skew_initial", round(result.skew_before, 4)
+                )
+                rebalance_stats["skew_final"] = round(
+                    result.skew_after, 4
+                )
+                rebalance_stats["runs"] = (
+                    rebalance_stats.get("runs", 0) + 1
+                )
+                for key, value in (
+                    ("planned", result.planned_moves),
+                    ("migrated", result.migrated),
+                    ("aborted", result.aborted),
+                    ("skipped", result.skipped),
+                ):
+                    rebalance_stats[key] = (
+                        rebalance_stats.get(key, 0) + value
+                    )
+                if trace_hash is not None:
+                    trace_hash.update(
+                        f"rebalance@{tick}:{result.migrated}:"
+                        f"{result.aborted}".encode()
+                    )
+
             # Differential round (quiescent: the barrier is behind us).
             if config.check_every > 0 and tick % config.check_every == 0:
                 motions = service.motion_snapshot()
@@ -590,6 +657,7 @@ def run_soak(config: SoakConfig) -> SoakReport:
         divergences=len(stats.divergences),
         divergence_labels=list(stats.divergences),
         recovery=recovery,
+        rebalance=rebalance_stats,
         subscription_stats={
             "count": len(_subscription_specs(config, scenario)),
             "deltas_drained": deltas_drained,

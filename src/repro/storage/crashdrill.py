@@ -41,7 +41,8 @@ V_MIN = 0.16
 V_MAX = 1.66
 
 
-def _build_service(directory: str, fsync: str, shards: int):
+def _build_service(directory: str, fsync: str, shards: int,
+                   router: str = "hash"):
     from repro.service.replication import FaultTolerantMotionService
 
     return FaultTolerantMotionService(
@@ -50,6 +51,7 @@ def _build_service(directory: str, fsync: str, shards: int):
         V_MAX,
         shards=shards,
         replication_factor=1,
+        router=router,
         wal_dir=directory,
         wal_fsync=fsync,
         checkpoint_every=32,
@@ -60,18 +62,29 @@ def _build_service(directory: str, fsync: str, shards: int):
 
 
 def run_child(directory: str, fsync: str, shards: int, objects: int,
-              seed: int) -> int:
+              seed: int, rebalance: bool = False) -> int:
     """Announce-then-apply write storm; runs until killed.
 
     Timestamps are the global write sequence number, strictly
     monotone, so "same t0" implies "same write" and the parent's
     differential check can match versions exactly.  Positions and
     velocities are seeded, so a surviving child is reproducible.
+
+    ``rebalance=True`` switches to a velocity-routed service and
+    interleaves the storm with live repartitioning: the band layout
+    is toggled between two cuts every few writes, so displaced
+    objects are *always* mid-two-phase-migration when the SIGKILL
+    lands.  Migrations never change acknowledged motion, so the
+    parent's TRY/ACK differential applies unchanged; the parent
+    additionally asserts exactly-one-shard residency after recovery.
     """
+    import itertools
     import random
 
     rng = random.Random(seed)
-    service = _build_service(directory, fsync, shards)
+    service = _build_service(
+        directory, fsync, shards, router="velocity" if rebalance else "hash"
+    )
     out = sys.stdout
     seq = 0
 
@@ -83,10 +96,34 @@ def run_child(directory: str, fsync: str, shards: int, objects: int,
         out.write(f"ACK {oid} {t0!r}\n")
         out.flush()
 
+    def draw_speed() -> float:
+        v = rng.uniform(V_MIN, V_MAX)
+        return v * (1 if rng.random() < 0.5 else -1)
+
+    controller = None
+    layouts = None
+    if rebalance:
+        from repro.service.rebalance import (
+            RebalanceConfig,
+            RebalanceController,
+        )
+
+        controller = RebalanceController(
+            service, RebalanceConfig(min_objects=1)
+        )
+        # Two cuts that disagree about the middle of the speed range:
+        # toggling keeps a steady stream of two-phase migrations in
+        # flight for the SIGKILL to land inside.
+        even = tuple(V_MAX * i / shards for i in range(1, shards))
+        squeezed = tuple(
+            V_MAX * 0.35 * i / shards for i in range(1, shards)
+        )
+        layouts = itertools.cycle([squeezed, even])
+
     for oid in range(objects):
         seq += 1
         y0 = rng.uniform(0.0, Y_MAX)
-        v = rng.uniform(V_MIN, V_MAX) * (1 if rng.random() < 0.5 else -1)
+        v = draw_speed()
         announce(oid, y0, v, float(seq))
         service.register(oid, y0, v, float(seq))
         acknowledge(oid, float(seq))
@@ -94,10 +131,16 @@ def run_child(directory: str, fsync: str, shards: int, objects: int,
         seq += 1
         oid = rng.randrange(objects)
         y0 = rng.uniform(0.0, Y_MAX)
-        v = rng.uniform(V_MIN, V_MAX) * (1 if rng.random() < 0.5 else -1)
+        v = draw_speed()
         announce(oid, y0, v, float(seq))
         service.report(oid, y0, v, float(seq))
         acknowledge(oid, float(seq))
+        if controller is not None and seq % 20 == 0:
+            edges = next(layouts)
+            if edges != service.router.band_edges():
+                service.set_bands(edges)
+            for move_oid, _src, dest in controller.moves():
+                controller.migrate(move_oid, dest)
 
 
 # -- parent: kill, recover, differential-check -----------------------------------
@@ -128,14 +171,14 @@ def _parse_lines(
 
 def run_drill(directory: Optional[str], fsync: str, shards: int,
               objects: int, kill_after_acks: int, seed: int,
-              timeout_s: float) -> int:
+              timeout_s: float, rebalance: bool = False) -> int:
     """The full drill; returns the process exit status."""
     own_dir = directory is None
     if own_dir:
         directory = tempfile.mkdtemp(prefix="repro-crashdrill-")
     print(f"crashdrill: dir={directory} fsync={fsync} shards={shards} "
           f"objects={objects} kill_after_acks={kill_after_acks} "
-          f"seed={seed}")
+          f"seed={seed} rebalance={rebalance}")
 
     env = dict(os.environ)
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -145,7 +188,8 @@ def run_drill(directory: Optional[str], fsync: str, shards: int,
         [sys.executable, "-m", "repro.storage.crashdrill", "--child",
          "--dir", directory, "--fsync", fsync,
          "--shards", str(shards), "--objects", str(objects),
-         "--seed", str(seed)],
+         "--seed", str(seed)]
+        + (["--rebalance"] if rebalance else []),
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -187,15 +231,38 @@ def run_drill(directory: Optional[str], fsync: str, shards: int,
     print(f"crashdrill: killed child after {acks} ACKs "
           f"({sum(len(v) for v in tried.values())} TRYs seen)")
 
-    service = _build_service(directory, fsync, shards)
+    service = _build_service(
+        directory, fsync, shards,
+        router="velocity" if rebalance else "hash",
+    )
     summary = service.restore_from_disk()
     recovered = service.motion_snapshot()
+    populations = service.shard_populations()
+    owner_of = {oid: service.shard_of(oid) for oid in recovered}
     service.close()
     print(f"crashdrill: recovered {summary['objects']} objects "
           f"(reconciled={summary['reconciled']} "
-          f"dropped={summary['dropped']})")
+          f"dropped={summary['dropped']}"
+          + (f" migrations_resolved={summary['migrations_resolved']}"
+             f" bands_epoch={summary['bands_epoch']}"
+             if rebalance else "")
+          + ")")
 
     failures: List[str] = []
+    if rebalance:
+        # Exactly-one-shard: a SIGKILL inside a two-phase migration
+        # must never fork ownership (replication_factor is 1 here, so
+        # every object is resident on exactly its owner shard).
+        for oid in sorted(recovered):
+            holders = [
+                shard for shard, pop in enumerate(populations)
+                if oid in pop
+            ]
+            if holders != [owner_of[oid]]:
+                failures.append(
+                    f"object {oid}: resident on shards {holders}, "
+                    f"catalog owner is {owner_of[oid]}"
+                )
     for oid, last_acked in sorted(acked.items()):
         motion = recovered.get(oid)
         if motion is None:
@@ -255,6 +322,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="drill timeout in seconds")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="interleave live band re-cuts + two-phase "
+                             "migrations with the storm, so the SIGKILL "
+                             "lands mid-migration; adds the "
+                             "exactly-one-shard ownership check")
     parser.add_argument("--child", action="store_true",
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
@@ -262,9 +334,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.dir is None:
             parser.error("--child requires --dir")
         return run_child(args.dir, args.fsync, args.shards, args.objects,
-                         args.seed)
+                         args.seed, rebalance=args.rebalance)
     return run_drill(args.dir, args.fsync, args.shards, args.objects,
-                     args.kill_after_acks, args.seed, args.timeout)
+                     args.kill_after_acks, args.seed, args.timeout,
+                     rebalance=args.rebalance)
 
 
 if __name__ == "__main__":
