@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline rebalance-smoke rebalance-tests rebalance-baseline bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline rebalance-smoke rebalance-tests rebalance-baseline update-bench-smoke update-tests update-baseline bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -21,6 +21,8 @@ check:
 	$(MAKE) soak-tests
 	$(MAKE) rebalance-smoke
 	$(MAKE) rebalance-tests
+	$(MAKE) update-bench-smoke
+	$(MAKE) update-tests
 
 test: check service-smoke
 	pytest tests/
@@ -165,6 +167,30 @@ rebalance-baseline:
 		python -m repro serve-bench --rebalance --n 10000 --shards 4 \
 		--updates 2000 --seed 42 --verify \
 		--rebalance-json benchmarks/results/BENCH_rebalance.json
+
+# Batched write-path smoke: apply_batch must produce byte-identical
+# outcomes, catalogs and probe answers to the scalar write calls over
+# the same seeded op stream (exit 3 on any divergence) while being
+# several times faster.
+update-bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --update-bench --n 1500 \
+		--shards 3 --seed 5
+
+# The vectorized write-path suites alone: the differential wall
+# (seeds x shard counts, duplicate-oid ordering, WAL streams,
+# subscription deltas), bulk-build property tests, and the
+# write-batch crash-point chaos matrix.
+update-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m writebatch
+
+# Regenerate the committed update-throughput baseline at the
+# acceptance scale (10k objects, two report rounds with churn).
+update-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --update-bench --n 10000 \
+		--seed 42 --update-json benchmarks/results/BENCH_update.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

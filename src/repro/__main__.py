@@ -152,6 +152,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return _cmd_subscription_bench(args)
     if args.batch:
         return _cmd_batch_bench(args)
+    if args.update_bench:
+        return _cmd_update_bench(args)
     if args.rebalance:
         return _cmd_rebalance_bench(args)
     config = ServeBenchConfig(
@@ -217,6 +219,41 @@ def _cmd_batch_bench(args: argparse.Namespace) -> int:
         print(
             "serve-bench: vector results DIVERGED from the scalar path "
             f"at query indices {report.divergences[:10]}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_update_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --update-bench``: scalar vs batched write-path
+    throughput, with differential verification of per-op outcomes,
+    shard catalogs, and probe query answers (exit 3 on divergence)."""
+    from repro.service.update_bench import (
+        UpdateBenchConfig,
+        run_update_bench,
+    )
+
+    config = UpdateBenchConfig(
+        n=args.n,
+        shards=args.shards,
+        method=args.method,
+        router=args.router,
+        seed=args.seed,
+        json_path=args.update_json,
+    )
+    try:
+        report = run_update_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.update_json:
+        print(f"wrote {args.update_json}")
+    if not report.ok:
+        print(
+            "serve-bench: batched write path DIVERGED from the scalar "
+            f"path: {report.divergences[:10]}",
             file=sys.stderr,
         )
         return 3
@@ -291,6 +328,7 @@ def _cmd_soak_bench(args: argparse.Namespace) -> int:
             wal_dir=args.wal_dir,
             fsync=args.fsync,
             seed=args.seed,
+            write_batch_size=args.write_batch,
         )
         report = run_soak(config)
     except ValueError as error:
@@ -439,6 +477,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-json", metavar="PATH", default=None,
                        help="dump the machine-readable batch report "
                             "to PATH (--batch mode)")
+    serve.add_argument("--update-bench", action="store_true",
+                       help="run the batched write-path bench: scalar "
+                            "register/report/deregister calls vs "
+                            "apply_batch on the same op stream; per-op "
+                            "outcomes, catalogs and probe answers "
+                            "differential-checked (exit 3 on "
+                            "divergence); --n sizes the population")
+    serve.add_argument("--update-json", metavar="PATH", default=None,
+                       help="dump the machine-readable update report "
+                            "to PATH (--update-bench mode)")
     serve.add_argument("--subscriptions", action="store_true",
                        help="run the continuous-subscription bench: "
                             "incremental maintenance vs naive per-tick "
@@ -499,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--soak-json", metavar="PATH", default=None,
                        help="dump the machine-readable soak report to "
                             "PATH (--soak mode)")
+    serve.add_argument("--write-batch", type=int, default=1,
+                       help="write ops per apply_batch call; 1 = "
+                            "scalar write path (--soak mode)")
     serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")

@@ -65,6 +65,34 @@ class MobileIndex1D(abc.ABC):
         """
         return [self.query(query) for query in queries]
 
+    # -- batched writes --------------------------------------------------------
+    #
+    # The write-path twins of query_batch: each applies its objects in
+    # order, and on error the prefix before the failing object remains
+    # applied (exactly the scalar loop's semantics).  Callers guarantee
+    # oid-uniqueness within one call — the engine splits runs at
+    # repeated oids — so overrides are free to reorder internally.
+
+    def insert_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Index many new objects in one call (default: scalar loop)."""
+        for obj in objs:
+            self.insert(obj)
+
+    def update_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Replace many objects' motions in one call.
+
+        Overrides may rebuild wholesale (e.g. the STR-style bulk-built
+        forest) when the batch is large relative to the population;
+        query answers must stay identical to the scalar loop.
+        """
+        for obj in objs:
+            self.update(obj)
+
+    def delete_batch(self, oids: Sequence[int]) -> None:
+        """Remove many objects in one call (default: scalar loop)."""
+        for oid in oids:
+            self.delete(oid)
+
     @abc.abstractmethod
     def __len__(self) -> int:
         """Number of objects currently indexed."""

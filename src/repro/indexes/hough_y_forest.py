@@ -32,7 +32,7 @@ Costs match Lemma 1: query ``O(log_B n + (K + K')/B)``, space
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bptree.tree import BPlusTree
 from repro.io_sim.extsort import external_sort
@@ -68,6 +68,24 @@ class HoughYForestIndex(MobileIndex1D):
 
     name = "hough-y-forest"
 
+    #: ``update_batch`` switches from per-object tree maintenance to a
+    #: full STR-style rebuild (sort + pack via :meth:`bulk_build`) once
+    #: a batch touches at least this fraction of the population: the
+    #: incremental path costs ``O(m · c log_B n)`` root-to-leaf passes
+    #: while the rebuild costs one ``O(c · n log n)`` sort + linear
+    #: pack, so large update storms amortize strictly better.
+    REBUILD_FRACTION = 0.3
+    #: Never rebuild below this batch size — fixed rebuild overhead
+    #: dominates tiny populations.
+    REBUILD_MIN_BATCH = 256
+    #: Leaf fill factor used by batch-triggered rebuilds.
+    REBUILD_FILL = 0.8
+    #: Optional crash-point hook consulted by the bulk machinery (fires
+    #: ``"bulk.mid_pack"`` between tree packs); class-level so the
+    #: ``bulk_build`` alternate constructor inherits the ``None``
+    #: default without running ``__init__``.
+    crash_hook: Optional[Callable[[str], None]] = None
+
     def __init__(
         self,
         model: MotionModel,
@@ -91,6 +109,7 @@ class HoughYForestIndex(MobileIndex1D):
         #: case (i) applied repeatedly.  The ablation bench compares.
         self.wide_strategy = wide_strategy
         self.c = c
+        self._leaf_capacity = leaf_capacity
         y_max = model.terrain.y_max
         self.horizons = observation_horizons(y_max, c)
         self._tree_disks: Dict[Tuple[int, int], DiskSimulator] = {}
@@ -126,6 +145,7 @@ class HoughYForestIndex(MobileIndex1D):
         leaf_capacity: int | None = None,
         fill: float = 0.8,
         wide_strategy: str = "intervals",
+        crash_hook: Optional[Callable[[str], None]] = None,
     ) -> "HoughYForestIndex":
         """Build the forest from a whole population in ``O(c n log n)``.
 
@@ -133,6 +153,8 @@ class HoughYForestIndex(MobileIndex1D):
         ``(b, oid)`` runs instead of ``N`` root-to-leaf inserts —
         the classic way to stand up the paper's structure over an
         existing fleet.  ``fill < 1`` leaves slack for later updates.
+        ``crash_hook`` (chaos testing) fires ``"bulk.mid_pack"`` after
+        each observation tree is packed.
         """
         index = cls.__new__(cls)
         MobileIndex1D.__init__(index, model)
@@ -142,6 +164,7 @@ class HoughYForestIndex(MobileIndex1D):
             raise ValueError(f"bad wide_strategy {wide_strategy!r}")
         index.wide_strategy = wide_strategy
         index.c = c
+        index._leaf_capacity = leaf_capacity
         y_max = model.terrain.y_max
         index.horizons = observation_horizons(y_max, c)
         index._tree_disks = {}
@@ -184,6 +207,8 @@ class HoughYForestIndex(MobileIndex1D):
                 run.destroy()
                 index._tree_disks[(sign, i)] = disk
                 index._trees[(sign, i)] = tree
+                if crash_hook is not None:
+                    crash_hook("bulk.mid_pack")
         # Subterrain interval indexes, also bulk-loaded.
         per_subterrain: List[List[Tuple[int, float, float]]] = [
             [] for _ in range(c)
@@ -248,6 +273,72 @@ class HoughYForestIndex(MobileIndex1D):
             self._trees[(sign, i)].delete((b, oid))
         for i in subterrains:
             self._intervals[i].delete(oid)
+
+    # -- batched writes ------------------------------------------------------------
+
+    def _adopt(self, rebuilt: "HoughYForestIndex") -> None:
+        """Swap in the structure of a freshly bulk-built forest.
+
+        The disks are replaced wholesale, so any attached I/O listener
+        is dropped for the new disks — the documented re-create caveat
+        of :meth:`~repro.indexes.base.MobileIndex1D.attach_io_listener`.
+        """
+        self._tree_disks = rebuilt._tree_disks
+        self._trees = rebuilt._trees
+        self._interval_disks = rebuilt._interval_disks
+        self._intervals = rebuilt._intervals
+        self._catalog = rebuilt._catalog
+
+    def _rebuild(self, objects: List[MobileObject1D]) -> None:
+        self._adopt(
+            HoughYForestIndex.bulk_build(
+                self.model,
+                objects,
+                c=self.c,
+                leaf_capacity=self._leaf_capacity,
+                fill=self.REBUILD_FILL,
+                wide_strategy=self.wide_strategy,
+                crash_hook=self.crash_hook,
+            )
+        )
+
+    def insert_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Bulk-load an empty forest; incremental inserts otherwise."""
+        if self._catalog or len(objs) < 2:
+            for obj in objs:
+                self.insert(obj)
+            return
+        self._rebuild(list(objs))
+
+    def update_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Apply an update storm, rebuilding in bulk when it is large.
+
+        Below the :data:`REBUILD_FRACTION` threshold each object takes
+        the scalar delete+insert path (``O(c log_B n)`` apiece, Lemma
+        1).  At or above it, the post-batch population is rebuilt via
+        :meth:`bulk_build` — externally sorted ``(b, oid)`` runs packed
+        bottom-up at :data:`REBUILD_FILL` — which answers every query
+        identically but costs one sort + pack instead of ``m`` tree
+        round-trips.  Callers guarantee oid-uniqueness in ``objs``.
+        """
+        for obj in objs:
+            if obj.oid not in self._catalog:
+                raise ObjectNotFoundError(
+                    f"object {obj.oid} is not indexed"
+                )
+        if (
+            len(objs) < self.REBUILD_MIN_BATCH
+            or len(objs) < self.REBUILD_FRACTION * len(self._catalog)
+        ):
+            for obj in objs:
+                self.update(obj)
+            return
+        motions = {oid: entry[0] for oid, entry in self._catalog.items()}
+        for obj in objs:
+            motions[obj.oid] = obj.motion
+        self._rebuild(
+            [MobileObject1D(oid, motion) for oid, motion in motions.items()]
+        )
 
     # -- querying ------------------------------------------------------------------
 

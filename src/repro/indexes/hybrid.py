@@ -101,8 +101,19 @@ class SlowObjectIndex(MobileIndex1D):
             if matches_1d(motion, query)
         }
 
+    #: Leaf fill factor for re-anchor rebuilds: STR-style packing with
+    #: headroom so post-rebuild inserts do not split immediately.
+    REBUILD_FILL = 0.8
+
     def _maybe_reanchor(self, t: float) -> None:
-        """Rebuild keys at a fresh reference time once drift grows."""
+        """Rebuild keys at a fresh reference time once drift grows.
+
+        The rebuild is a sort + bottom-up bulk load
+        (:meth:`~repro.bptree.tree.BPlusTree.bulk_load`) instead of n
+        root-to-leaf inserts; ``(position, oid)`` keys are unique, so
+        the sorted entry run satisfies the loader's strictly-increasing
+        key contract.
+        """
         if self.v_slow * abs(t - self.t_ref) <= self.rebuild_drift:
             return
         self.t_ref = t
@@ -111,9 +122,9 @@ class SlowObjectIndex(MobileIndex1D):
             for oid, motion in self._motions.items()
         )
         self._disk = DiskSimulator()
-        self._tree = BPlusTree(self._disk, self._capacity)
-        for key, motion in entries:
-            self._tree.insert(key, motion)
+        self._tree = BPlusTree.bulk_load(
+            self._disk, entries, self._capacity, fill=self.REBUILD_FILL
+        )
 
     def __len__(self) -> int:
         return len(self._motions)
@@ -168,6 +179,72 @@ class HybridIndex(MobileIndex1D):
 
     def query(self, query: MORQuery1D) -> Set[int]:
         return self._fast.query(query) | self._slow.query(query)
+
+    # -- batched writes --------------------------------------------------------
+
+    def insert_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Validate the whole batch, then one grouped insert per band."""
+        fast: list = []
+        slow: list = []
+        for obj in objs:
+            if obj.oid in self._band:
+                raise DuplicateObjectError(
+                    f"object {obj.oid} already indexed"
+                )
+            if abs(obj.motion.v) > self.model.v_max:
+                raise InvalidMotionError(
+                    f"speed {obj.motion.v} above v_max {self.model.v_max}"
+                )
+            (fast if self.model.is_moving(obj.motion) else slow).append(obj)
+        if fast:
+            self._fast.insert_batch(fast)
+            for obj in fast:
+                self._band[obj.oid] = "fast"
+        if slow:
+            self._slow.insert_batch(slow)
+            for obj in slow:
+                self._band[obj.oid] = "slow"
+
+    def update_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Group the fast-band bulk of a batch into one grouped update.
+
+        Objects staying in the fast band (the overwhelming case for the
+        paper's update storms) forward as one
+        :meth:`~repro.indexes.base.MobileIndex1D.update_batch` to the
+        fast method, which may rebuild in bulk; band transitions and
+        slow-band updates take the scalar route-and-reinsert path.
+        Callers guarantee oid-uniqueness within the batch, so the two
+        groups commute.
+        """
+        stay_fast: list = []
+        rest: list = []
+        for obj in objs:
+            if (
+                self._band.get(obj.oid) == "fast"
+                and abs(obj.motion.v) <= self.model.v_max
+                and self.model.is_moving(obj.motion)
+            ):
+                stay_fast.append(obj)
+            else:
+                rest.append(obj)
+        if stay_fast:
+            self._fast.update_batch(stay_fast)
+        for obj in rest:
+            self.update(obj)
+
+    def delete_batch(self, oids: Sequence[int]) -> None:
+        """One grouped delete per band."""
+        fast: list = []
+        slow: list = []
+        for oid in oids:
+            band = self._band.pop(oid, None)
+            if band is None:
+                raise ObjectNotFoundError(f"object {oid} is not indexed")
+            (fast if band == "fast" else slow).append(oid)
+        if fast:
+            self._fast.delete_batch(fast)
+        if slow:
+            self._slow.delete_batch(slow)
 
     def __len__(self) -> int:
         return len(self._band)

@@ -18,7 +18,7 @@ old generation is empty and is retired.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.model import MobileObject1D, MotionModel
 from repro.core.queries import MORQuery1D
@@ -29,6 +29,10 @@ from repro.io_sim.pager import DiskSimulator
 #: A factory building an inner index whose intercepts are measured at
 #: the given reference time.
 IndexFactory = Callable[[float], MobileIndex1D]
+
+#: A bulk factory standing up a *populated* inner index for the given
+#: reference time in one sort + pack (STR-style), instead of n inserts.
+BulkIndexFactory = Callable[[float, Sequence[MobileObject1D]], MobileIndex1D]
 
 
 class RotatingIndex(MobileIndex1D):
@@ -43,9 +47,15 @@ class RotatingIndex(MobileIndex1D):
 
     name = "rotating"
 
-    def __init__(self, model: MotionModel, factory: IndexFactory) -> None:
+    def __init__(
+        self,
+        model: MotionModel,
+        factory: IndexFactory,
+        bulk_factory: Optional[BulkIndexFactory] = None,
+    ) -> None:
         super().__init__(model)
         self._factory = factory
+        self._bulk_factory = bulk_factory
         self._generations: Dict[int, MobileIndex1D] = {}
         self._owner: Dict[int, int] = {}  # oid -> epoch
 
@@ -77,6 +87,58 @@ class RotatingIndex(MobileIndex1D):
 
     def insert(self, obj: MobileObject1D) -> None:
         self.insert_at(obj, obj.motion.t0)
+
+    def insert_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Grouped insert: bulk-build fresh generations when possible.
+
+        Objects are grouped by the epoch owning their update time.  A
+        group opening a *new* generation is handed to the bulk factory
+        (when configured) — the §3.2 rotation's generation turnover
+        becomes one STR-style sort + pack instead of n root-to-leaf
+        inserts.  Groups landing in an already-live generation keep the
+        incremental path, since a rebuild would discard its contents.
+        """
+        by_epoch: Dict[int, List[MobileObject1D]] = {}
+        for obj in objs:
+            by_epoch.setdefault(self._epoch_of(obj.motion.t0), []).append(obj)
+        for epoch in sorted(by_epoch):
+            group = by_epoch[epoch]
+            if (
+                self._bulk_factory is not None
+                and epoch not in self._generations
+                and len(group) > 1
+            ):
+                gen = self._bulk_factory(epoch * self.model.t_period, group)
+                self._generations[epoch] = gen
+                for obj in group:
+                    self._owner[obj.oid] = epoch
+            else:
+                gen = self._generation(epoch)
+                gen.insert_batch(group)
+                for obj in group:
+                    self._owner[obj.oid] = epoch
+
+    def update_batch(self, objs: Sequence[MobileObject1D]) -> None:
+        """Grouped rotation step: delete everywhere, re-insert grouped.
+
+        An update moves its object into the generation owning ``now``
+        (= the motion's ``t0``), which is exactly how generations
+        rotate; deleting first may empty and retire an old generation,
+        letting the re-insert group bulk-build its successor.
+        """
+        self.delete_batch([obj.oid for obj in objs])
+        self.insert_batch(objs)
+
+    def delete_batch(self, oids: Sequence[int]) -> None:
+        by_epoch: Dict[int, List[int]] = {}
+        for oid in oids:
+            epoch = self._owner.pop(oid, None)
+            if epoch is None:
+                raise ObjectNotFoundError(f"object {oid} is not indexed")
+            by_epoch.setdefault(epoch, []).append(oid)
+        for epoch, group in by_epoch.items():
+            self._generations[epoch].delete_batch(group)
+        self._retire_empty()
 
     def delete(self, oid: int) -> None:
         epoch = self._owner.pop(oid, None)

@@ -72,6 +72,7 @@ from repro.service.faults import (
     FaultInjector,
     FaultSpec,
     MIGRATION_CRASH_POINTS,
+    WRITE_BATCH_CRASH_POINTS,
     flip_bit,
     truncate_file,
 )
@@ -123,6 +124,7 @@ __all__ = [
     "HashRouter",
     "Histogram",
     "MIGRATION_CRASH_POINTS",
+    "WRITE_BATCH_CRASH_POINTS",
     "MetricsRegistry",
     "MigrationState",
     "Nearest",

@@ -34,9 +34,12 @@ from repro.core.model import LinearMotion1D
 from repro.errors import ObjectNotFoundError
 from repro.service.service import ShardedMotionService
 from repro.vector.ops import (  # noqa: F401  (historical home, re-exported)
+    DeregisterOp,
     Nearest,
     ProximityPairs,
     QueryOp,
+    RegisterOp,
+    ReportOp,
     SnapshotAt,
     Within,
 )
@@ -111,6 +114,16 @@ class BatchExecutor:
         of one pool task per query.  Results are identical; an error
         raised by the batch call falls back to per-operation
         execution so containment semantics are preserved.
+    batch_updates:
+        When true, the update phase is pushed down as a single
+        :meth:`ShardedMotionService.apply_batch` call — the service
+        does the per-shard grouping itself, with one grouped WAL
+        append / fsync per shard and one listener fire for the batch.
+        Submission order is normalized to the same order the pool
+        path applies: per shard-hint group, timestamp order (stable).
+        Per-op rejections land in ``.error`` exactly as before; an
+        error raised by the batch call itself (or a service without
+        the API) falls back to per-operation execution.
     """
 
     def __init__(
@@ -118,9 +131,11 @@ class BatchExecutor:
         service: ShardedMotionService,
         max_workers: Optional[int] = None,
         batch_queries: bool = False,
+        batch_updates: bool = False,
     ) -> None:
         self.service = service
         self.batch_queries = batch_queries
+        self.batch_updates = batch_updates
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers or max(2, service.shard_count),
             thread_name_prefix="motion-batch",
@@ -159,12 +174,17 @@ class BatchExecutor:
             for position in positions:
                 results[position] = self._apply(batch[position])
 
-        update_futures = [
-            self._pool.submit(apply_group, positions)
-            for positions in updates.values()
-        ]
-        for future in update_futures:
-            future.result()  # barrier; group errors are per-op, see _apply
+        if self.batch_updates and updates:
+            applied = self._run_updates_batched(batch, updates, results)
+        else:
+            applied = False
+        if not applied:
+            update_futures = [
+                self._pool.submit(apply_group, positions)
+                for positions in updates.values()
+            ]
+            for future in update_futures:
+                future.result()  # barrier; group errors are per-op
 
         if self.batch_queries and queries:
             query_ops = [batch[position] for position in queries]
@@ -209,6 +229,47 @@ class BatchExecutor:
         contrast ``service.metrics.snapshot()["failed_ops"]``, the
         cumulative caller-observed totals."""
         return dict(self._last_run_failed_ops)
+
+    def _run_updates_batched(
+        self,
+        batch: List[Operation],
+        updates: Dict[int, List[int]],
+        results: List[Optional[OpResult]],
+    ) -> bool:
+        """Push the update phase through ``service.apply_batch``.
+
+        Returns ``True`` when the batch call handled the phase (its
+        per-op outcomes are written into ``results``); ``False`` sends
+        the caller to the pool path — a service without the API, or a
+        batch call that raised before producing outcomes.
+        """
+        ordered: List[int] = []
+        for positions in updates.values():
+            ordered.extend(
+                sorted(positions, key=lambda p: getattr(batch[p], "t0", 0.0))
+            )
+        write_ops = []
+        for position in ordered:
+            op = batch[position]
+            if isinstance(op, Register):
+                write_ops.append(RegisterOp(op.oid, op.y0, op.v, op.t0))
+            elif isinstance(op, Report):
+                write_ops.append(ReportOp(op.oid, op.y0, op.v, op.t0))
+            else:
+                write_ops.append(DeregisterOp(op.oid))
+        apply_batch = getattr(self.service, "apply_batch", None)
+        if apply_batch is None:
+            return False
+        try:
+            outcomes = apply_batch(write_ops)
+        except Exception:
+            return False
+        for position, error in zip(ordered, outcomes):
+            op = batch[position]
+            if error is not None:
+                self.service.metrics.record_batch_failure(op_class_name(op))
+            results[position] = OpResult(op=op, error=error)
+        return True
 
     def _shard_hint(self, op: UpdateOp) -> int:
         """Group key for the update phase: the op's routed shard.

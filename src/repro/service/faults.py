@@ -303,6 +303,23 @@ MIGRATION_CRASH_POINTS = (
     "rebalance.post_commit",
 )
 
+#: Crash points of the batched write path, in protocol order.  Pass a
+#: :class:`CrashPointInjector` as the ``crash_hook`` of
+#: ``FaultTolerantMotionService.apply_batch`` (or of
+#: ``HoughYForestIndex.bulk_build``) to die at the boundary:
+#:
+#: * ``write_batch.pre_fsync`` — a shard's grouped WAL records are
+#:   appended (page cache) but not yet fsynced; with
+#:   ``drop_unsynced=True`` recovery must land an all-or-prefix cut of
+#:   that shard's sub-batch, never a torn interleaving;
+#: * ``bulk.mid_pack`` — an STR-style bulk rebuild died between
+#:   packing two trees of the forest; the half-built generation must
+#:   be discarded, never adopted.
+WRITE_BATCH_CRASH_POINTS = (
+    "write_batch.pre_fsync",
+    "bulk.mid_pack",
+)
+
 
 # -- deliberate file corruption (bit rot / torn hardware) ------------------------
 

@@ -72,11 +72,15 @@ from repro.service.sharding import BandRouter, MigrationState
 from repro.service.wal import ShardWAL
 from repro.storage.backend import FileWALBackend
 from repro.vector.ops import (
+    DeregisterOp,
     Nearest,
     ProximityPairs,
     QueryOp,
+    RegisterOp,
+    ReportOp,
     SnapshotAt,
     Within,
+    WriteOp,
 )
 
 UP = "up"
@@ -530,6 +534,233 @@ class FaultTolerantMotionService(ShardedMotionService):
                         self._catalog_motion.pop(oid, None)
                     self._notify_update("delete", oid, None)
                     return
+
+    # -- batched writes ----------------------------------------------------------
+
+    def apply_batch(
+        self,
+        ops: List[WriteOp],
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> List[Optional[Exception]]:
+        """Batched writes with the grouped-WAL fast path while healthy.
+
+        With no fault injector armed and every shard up, the whole
+        batch runs under all shard locks in one pass: each op applies
+        to every replica of its group directly (same placement logic
+        as the scalar writes, including fenced migration double-writes)
+        while its WAL records accumulate per shard; then each touched
+        shard gets **one** grouped log append, **one** ``sync()`` (one
+        fsync under ``batch:N`` policies), and at most one checkpoint —
+        and the update listeners fire **once** for the batch, events in
+        submission order.  Per-op rejections come back in the returned
+        list (``None`` = applied), exactly like
+        :meth:`ShardedMotionService.apply_batch`.
+
+        With an injector armed or any shard down, every op takes the
+        scalar write path — full retry/breaker/mark-down machinery —
+        and :class:`~repro.errors.ShardUnavailableError` joins the
+        contained outcome types, so chaos runs behave per-op exactly
+        like a scalar soak.
+
+        ``crash_hook`` fires ``write_batch.pre_fsync`` after a shard's
+        grouped records are appended but before its ``sync()`` — the
+        window where a crash with page-cache loss must recover an
+        all-or-prefix cut of that shard's sub-batch.
+
+        Crash atomicity is per shard and per object (all-or-prefix of
+        each shard's record stream), not a global cut across shards:
+        replicas of one group may retain different committed prefixes,
+        exactly as under relaxed fsync policies, and
+        :meth:`restore_from_disk` reconciles them by newest-motion
+        election.
+        """
+        for op in ops:
+            if not isinstance(op, (RegisterOp, ReportOp, DeregisterOp)):
+                raise TypeError(f"unknown write operation {op!r}")
+        if self._injector is not None or self.down_shards():
+            return self._apply_batch_degraded(ops)
+        hook = crash_hook or _no_hook
+        outcomes: List[Optional[Exception]] = [None] * len(ops)
+        events: List[Tuple[str, int, Optional[LinearMotion1D]]] = []
+        pending: Dict[int, List[Tuple[str, Dict]]] = {}
+        degraded = False
+        with self.metrics.span("apply_batch") as span:
+            with self._holding(range(self.shard_count)):
+                if self.down_shards():
+                    degraded = True  # kill raced the health check
+                else:
+                    befores = [db.io_snapshot() for db in self._shards]
+                    for i, op in enumerate(ops):
+                        try:
+                            self._apply_one_replicated(op, events, pending)
+                        except (
+                            InvalidMotionError,
+                            ObjectNotFoundError,
+                        ) as exc:
+                            outcomes[i] = exc
+                    for shard, db in enumerate(self._shards):
+                        span.add_shard_io(
+                            shard, db.io_delta_since(befores[shard])
+                        )
+                    for shard in sorted(pending):
+                        node = self._nodes[shard]
+                        node.wal.append_batch(pending[shard])
+                        hook("write_batch.pre_fsync")
+                        node.wal.sync()
+                        node.wal.maybe_checkpoint(self._shards[shard])
+                    self._notify_update_batch(events)
+        if degraded:
+            return self._apply_batch_degraded(ops)
+        return outcomes
+
+    def _apply_one_replicated(
+        self,
+        op: WriteOp,
+        events: List,
+        pending: Dict[int, List],
+    ) -> None:
+        """Fast-path apply of one write to every replica of its group.
+
+        Caller holds all shard locks and guarantees every shard is up
+        and no injector is armed, so the scalar path's retry /
+        mark-down machinery is unnecessary; placement and record kinds
+        mirror :meth:`register` / :meth:`report` / :meth:`deregister`
+        exactly.  WAL records accumulate in ``pending`` for the
+        caller's grouped append.
+        """
+        v_max = self._db_params["v_max"]
+
+        def record(shard: int, kind: str, fields: Dict) -> None:
+            pending.setdefault(shard, []).append((kind, fields))
+
+        if isinstance(op, RegisterOp):
+            motion = LinearMotion1D(op.y0, op.v, op.t0)
+            with self._catalog_lock:
+                duplicate = op.oid in self._owner
+            if duplicate:
+                raise InvalidMotionError(
+                    f"object {op.oid} is already registered; use report()"
+                )
+            if abs(op.v) > v_max:
+                raise InvalidMotionError(
+                    f"speed {op.v} above v_max {v_max}"
+                )
+            primary = self.router.route(op.oid, motion)
+            for shard in sorted(self.replica_group(primary)):
+                self._shards[shard].register(op.oid, op.y0, op.v, op.t0)
+                record(shard, "insert", {
+                    "oid": op.oid, "y0": op.y0, "v": op.v, "t0": op.t0,
+                })
+            with self._catalog_lock:
+                self._owner[op.oid] = primary
+                self._catalog_motion[op.oid] = motion
+            events.append(("insert", op.oid, motion))
+            return
+
+        if isinstance(op, ReportOp):
+            motion = LinearMotion1D(op.y0, op.v, op.t0)
+            with self._catalog_lock:
+                current = self._owner.get(op.oid)
+                migration = self._ownership.migration_of(op.oid)
+            if current is None:
+                raise ObjectNotFoundError(
+                    f"object {op.oid} is not registered"
+                )
+            if abs(op.v) > v_max:
+                raise InvalidMotionError(
+                    f"speed {op.v} above v_max {v_max}"
+                )
+            if migration is not None:
+                # Fenced double-write; the epoch cannot go stale under
+                # us because commit/abort needs shard locks we hold.
+                union = set(self.replica_group(migration.source)) | set(
+                    self.replica_group(migration.dest)
+                )
+                for shard in sorted(union):
+                    self._shards[shard].report(op.oid, op.y0, op.v, op.t0)
+                    record(shard, "update", {
+                        "oid": op.oid, "y0": op.y0, "v": op.v,
+                        "t0": op.t0, "fence": migration.epoch,
+                    })
+                with self._catalog_lock:
+                    self._catalog_motion[op.oid] = motion
+                self.metrics.counter("rebalance_double_writes").increment()
+                events.append(("update", op.oid, motion))
+                return
+            target = (
+                self.router.route(op.oid, motion)
+                if self.router.motion_sensitive
+                else current
+            )
+            old_group = set(self.replica_group(current))
+            new_group = set(self.replica_group(target))
+            for shard in sorted(old_group & new_group):
+                self._shards[shard].report(op.oid, op.y0, op.v, op.t0)
+                record(shard, "update", {
+                    "oid": op.oid, "y0": op.y0, "v": op.v, "t0": op.t0,
+                })
+            for shard in sorted(new_group - old_group):
+                self._shards[shard].register(op.oid, op.y0, op.v, op.t0)
+                record(shard, "insert", {
+                    "oid": op.oid, "y0": op.y0, "v": op.v, "t0": op.t0,
+                })
+            for shard in sorted(old_group - new_group):
+                self._shards[shard].deregister(op.oid)
+                record(shard, "delete", {"oid": op.oid})
+            with self._catalog_lock:
+                self._owner[op.oid] = target
+                self._catalog_motion[op.oid] = motion
+            events.append(("update", op.oid, motion))
+            return
+
+        with self._catalog_lock:
+            primary = self._owner.get(op.oid)
+            migration = self._ownership.migration_of(op.oid)
+        if primary is None:
+            raise ObjectNotFoundError(
+                f"object {op.oid} is not registered"
+            )
+        group = set(self.replica_group(primary))
+        if migration is not None:
+            group |= set(self.replica_group(migration.dest))
+        for shard in sorted(group):
+            if op.oid not in self._shards[shard]:
+                continue  # copy never landed on this shard
+            self._shards[shard].deregister(op.oid)
+            record(shard, "delete", {"oid": op.oid})
+        with self._catalog_lock:
+            self._ownership.drop(op.oid)
+            self._catalog_motion.pop(op.oid, None)
+        events.append(("delete", op.oid, None))
+
+    def _apply_batch_degraded(
+        self, ops: List[WriteOp]
+    ) -> List[Optional[Exception]]:
+        """Per-op scalar fallback with full fault machinery.
+
+        Each op runs the scalar write (retry, breaker, mark-down,
+        per-op WAL append and listener fire) so a chaos run through the
+        batch API behaves byte-identically to the same ops issued one
+        by one; rejections and unavailability land in the outcome list
+        instead of raising.
+        """
+        outcomes: List[Optional[Exception]] = []
+        for op in ops:
+            try:
+                if isinstance(op, RegisterOp):
+                    self.register(op.oid, op.y0, op.v, op.t0)
+                elif isinstance(op, ReportOp):
+                    self.report(op.oid, op.y0, op.v, op.t0)
+                else:
+                    self.deregister(op.oid)
+                outcomes.append(None)
+            except (
+                ShardUnavailableError,
+                ObjectNotFoundError,
+                InvalidMotionError,
+            ) as exc:
+                outcomes.append(exc)
+        return outcomes
 
     def location_of(self, oid: int, t: float) -> float:
         """Point lookup with replica failover."""

@@ -60,11 +60,15 @@ from repro.service.sharding import (
 )
 from repro.vector.cache import QueryResultCache, copy_result
 from repro.vector.ops import (
+    DeregisterOp,
     Nearest,
     ProximityPairs,
     QueryOp,
+    RegisterOp,
+    ReportOp,
     SnapshotAt,
     Within,
+    WriteOp,
 )
 
 #: Router factories selectable by name (``router="velocity"``).
@@ -283,6 +287,31 @@ class ShardedMotionService:
         for listener in list(self._update_listeners):
             listener(kind, oid, motion)
 
+    def _notify_update_batch(
+        self, events: List[Tuple[str, int, Optional[LinearMotion1D]]]
+    ) -> None:
+        """One listener pass per batch, events in submission order.
+
+        Each listener still receives every per-object event in apply
+        order — the :meth:`attach_update_listener` guarantee — but the
+        pass over the listener list happens once per batch instead of
+        once per write, and the result cache absorbs the whole batch
+        through :meth:`~repro.vector.cache.QueryResultCache.on_update_batch`
+        (one lock acquisition and one generation advance covering all
+        events).
+        """
+        if not events:
+            return
+        for listener in list(self._update_listeners):
+            if (
+                self.query_cache is not None
+                and listener == self.query_cache.on_update
+            ):
+                self.query_cache.on_update_batch(events)
+            else:
+                for kind, oid, motion in events:
+                    listener(kind, oid, motion)
+
     # -- updates ----------------------------------------------------------------
 
     def register(self, oid: int, y0: float, v: float, t0: float) -> None:
@@ -469,6 +498,196 @@ class ShardedMotionService:
         shard = self.shard_of(oid)
         with self._locks[shard]:
             return self._shards[shard].location_of(oid, t)
+
+    # -- batched writes ----------------------------------------------------------
+
+    def report_batch(
+        self, reports: Sequence[ReportOp]
+    ) -> List[Optional[Exception]]:
+        """Apply a batch of motion reports (see :meth:`apply_batch`)."""
+        return self.apply_batch(reports)
+
+    def apply_batch(
+        self, ops: Sequence[WriteOp]
+    ) -> List[Optional[Exception]]:
+        """Apply a batch of write operations with one visit per shard.
+
+        Accepts the :mod:`repro.vector.ops` write vocabulary
+        (``RegisterOp`` / ``ReportOp`` / ``DeregisterOp``) and returns
+        a list parallel to ``ops``: ``None`` for an applied operation,
+        or the rejection exception (same types and messages as the
+        scalar methods raise) for a contained per-operation failure —
+        a rejected operation never disturbs its neighbours.
+
+        The batch is one critical section: every shard lock is taken
+        (ascending, the :meth:`proximity_pairs` discipline), operations
+        are resolved against the catalog **in submission order** and
+        grouped by target shard, then each shard absorbs its group
+        through one :meth:`MotionDatabase.apply_batch` call.  Grouping
+        per shard is safe because writes to different objects commute
+        and same-object operations always group onto the same shard in
+        order (a motion-sensitive cross-shard move splits into a
+        source delete and a destination insert on two different
+        databases, which also commute).  Listeners fire once per batch
+        in submission order (:meth:`_notify_update_batch`) before any
+        lock is released, so readers never observe a half-applied
+        batch and subscriptions keep their per-object apply-order
+        guarantee.  Final state and answers are identical to calling
+        the scalar methods in the same order.
+        """
+        with self.metrics.span("apply_batch") as span:
+            for op in ops:
+                if not isinstance(
+                    op, (RegisterOp, ReportOp, DeregisterOp)
+                ):
+                    raise TypeError(f"unknown write operation {op!r}")
+            for lock in self._locks:
+                lock.acquire()
+            try:
+                outcomes, events, per_shard, origins = self._resolve_batch(
+                    ops
+                )
+                for shard in sorted(per_shard):
+                    db = self._shards[shard]
+                    before = db.io_snapshot()
+                    sub_outcomes = db.apply_batch(per_shard[shard])
+                    span.add_shard_io(shard, db.io_delta_since(before))
+                    for pos, error in enumerate(sub_outcomes):
+                        if error is not None:
+                            # The catalog admitted the op under every
+                            # lock, so a shard-level rejection means
+                            # catalog/shard divergence — never mask it.
+                            raise RuntimeError(
+                                f"shard {shard} rejected catalog-admitted "
+                                f"op {per_shard[shard][pos]!r}"
+                            ) from error
+                self._notify_update_batch(events)
+                return outcomes
+            finally:
+                for lock in reversed(self._locks):
+                    lock.release()
+
+    def _resolve_batch(
+        self, ops: Sequence[WriteOp]
+    ) -> Tuple[
+        List[Optional[Exception]],
+        List[Tuple[str, int, Optional[LinearMotion1D]]],
+        Dict[int, List[WriteOp]],
+        Dict[int, List[int]],
+    ]:
+        """Route one write batch against the catalog, in order.
+
+        Runs with every shard lock held.  Returns ``(outcomes, events,
+        per_shard, origins)``: contained per-op rejections, the update
+        events to fire, each shard's sub-batch, and the sub-batch's
+        originating op indexes (for error attribution).  The catalog is
+        mutated as ops resolve, so duplicate oids within one batch see
+        each other in submission order.
+        """
+        outcomes: List[Optional[Exception]] = [None] * len(ops)
+        events: List[Tuple[str, int, Optional[LinearMotion1D]]] = []
+        per_shard: Dict[int, List[WriteOp]] = {}
+        origins: Dict[int, List[int]] = {}
+        v_max = self._db_params["v_max"]
+        # Residency overlay for sub-ops routed but not yet applied, so
+        # a register → deregister pair inside one batch resolves against
+        # the state the earlier op *will* have produced.
+        pending: Dict[Tuple[int, int], bool] = {}
+
+        def resident(shard: int, oid: int) -> bool:
+            key = (shard, oid)
+            if key in pending:
+                return pending[key]
+            return oid in self._shards[shard]
+
+        def push(shard: int, sub_op: WriteOp, index: int) -> None:
+            per_shard.setdefault(shard, []).append(sub_op)
+            origins.setdefault(shard, []).append(index)
+            if isinstance(sub_op, RegisterOp):
+                pending[(shard, sub_op.oid)] = True
+            elif isinstance(sub_op, DeregisterOp):
+                pending[(shard, sub_op.oid)] = False
+
+        with self._catalog_lock:
+            for i, op in enumerate(ops):
+                if isinstance(op, RegisterOp):
+                    if op.oid in self._owner:
+                        outcomes[i] = InvalidMotionError(
+                            f"object {op.oid} is already registered; "
+                            "use report()"
+                        )
+                        continue
+                    if abs(op.v) > v_max:
+                        outcomes[i] = InvalidMotionError(
+                            f"speed {op.v} above v_max {v_max}"
+                        )
+                        continue
+                    motion = LinearMotion1D(op.y0, op.v, op.t0)
+                    target = self.router.route(op.oid, motion)
+                    self._owner[op.oid] = target
+                    push(target, op, i)
+                    events.append(("insert", op.oid, motion))
+                elif isinstance(op, ReportOp):
+                    current = self._owner.get(op.oid)
+                    if current is None:
+                        outcomes[i] = ObjectNotFoundError(
+                            f"object {op.oid} is not registered"
+                        )
+                        continue
+                    if abs(op.v) > v_max:
+                        outcomes[i] = InvalidMotionError(
+                            f"speed {op.v} above v_max {v_max}"
+                        )
+                        continue
+                    motion = LinearMotion1D(op.y0, op.v, op.t0)
+                    migration = self._ownership.migration_of(op.oid)
+                    if migration is not None:
+                        # Double-write window: every lock is held, so
+                        # the migration cannot resolve mid-batch and
+                        # the fencing epoch is necessarily current.
+                        for shard in sorted(
+                            {migration.source, migration.dest}
+                        ):
+                            push(shard, op, i)
+                        self.metrics.counter(
+                            "rebalance_double_writes"
+                        ).increment()
+                    else:
+                        target = (
+                            self.router.route(op.oid, motion)
+                            if self.router.motion_sensitive
+                            else current
+                        )
+                        if target == current:
+                            push(current, op, i)
+                        else:
+                            push(current, DeregisterOp(op.oid), i)
+                            push(
+                                target,
+                                RegisterOp(op.oid, op.y0, op.v, op.t0),
+                                i,
+                            )
+                            self._owner[op.oid] = target
+                    events.append(("update", op.oid, motion))
+                else:
+                    current = self._owner.get(op.oid)
+                    if current is None:
+                        outcomes[i] = ObjectNotFoundError(
+                            f"object {op.oid} is not registered"
+                        )
+                        continue
+                    migration = self._ownership.migration_of(op.oid)
+                    held = (
+                        sorted({migration.source, migration.dest})
+                        if migration is not None
+                        else [current]
+                    )
+                    for shard in held:
+                        if resident(shard, op.oid):
+                            push(shard, op, i)
+                    self._ownership.drop(op.oid)
+                    events.append(("delete", op.oid, None))
+        return outcomes, events, per_shard, origins
 
     # -- live rebalancing (two-phase object migration) ---------------------------
     #

@@ -170,6 +170,22 @@ class ShardWAL:
         self._event("wal_append")
         return record
 
+    def append_batch(self, entries: List) -> List[WALRecord]:
+        """Log a group of committed operations in submission order.
+
+        ``entries`` is a list of ``(kind, fields)`` pairs.  Each entry
+        gets its own sequenced record — the log stream is identical to
+        ``len(entries)`` scalar :meth:`append` calls, so recovery
+        replays it with the unchanged :meth:`_replay`; the batching is
+        purely a write-path grouping (the caller follows with a single
+        :meth:`sync`, one fsync for the whole group under ``batch:N``
+        policies).
+        """
+        records: List[WALRecord] = []
+        for kind, fields in entries:
+            records.append(self.append(kind, **fields))
+        return records
+
     def _track(self, record: WALRecord) -> None:
         """Maintain the migration/band mirrors from one record.
 

@@ -103,11 +103,21 @@ class SoakConfig:
     knn_per_check: int = 2
     wal_dir: Optional[str] = None
     fsync: str = "batch:8"
+    #: Writes per ``apply_batch`` call.  1 (default) keeps the scalar
+    #: per-op write path; >1 routes each worker's slice through the
+    #: batched write path in chunks of this size — the statuses trace
+    #: is computed from the per-op outcome list, so at size 1 the two
+    #: paths must produce byte-identical trace digests.
+    write_batch_size: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
             raise ValueError(f"need at least 1 thread, got {self.threads}")
+        if self.write_batch_size < 1:
+            raise ValueError(
+                f"write_batch_size must be >= 1, got {self.write_batch_size}"
+            )
         if not 1 <= self.replication <= self.shards:
             raise ValueError(
                 f"replication must be in [1, {self.shards}], "
@@ -339,13 +349,53 @@ def _apply_events(
     service: FaultTolerantMotionService,
     events: Sequence[StreamEvent],
     trigger: _CrashTrigger,
+    batch_size: int = 1,
 ) -> Tuple[Dict[str, int], List[str]]:
-    """Apply one slice of writes in order; returns counters + statuses."""
+    """Apply one slice of writes in order; returns counters + statuses.
+
+    ``batch_size > 1`` routes the slice through ``apply_batch`` in
+    chunks, deriving each event's status from its outcome slot; the
+    crash trigger still steps once per event (at chunk granularity),
+    so scheduled kills keep firing at the same operation counts.
+    """
     counts = {
         "registers": 0, "reports": 0, "deregisters": 0,
         "rejected_writes": 0, "workload_errors": 0,
     }
     statuses: List[str] = []
+    if batch_size > 1:
+        from repro.vector.ops import DeregisterOp, RegisterOp, ReportOp
+
+        for start in range(0, len(events), batch_size):
+            chunk = list(events[start:start + batch_size])
+            ops = []
+            for event in chunk:
+                if event.kind == "register":
+                    ops.append(
+                        RegisterOp(event.oid, event.y0, event.v, event.t0)
+                    )
+                elif event.kind == "report":
+                    ops.append(
+                        ReportOp(event.oid, event.y0, event.v, event.t0)
+                    )
+                else:
+                    ops.append(DeregisterOp(event.oid))
+            outcomes = service.apply_batch(ops)
+            for event, error in zip(chunk, outcomes):
+                if error is None:
+                    key = {
+                        "register": "registers", "report": "reports",
+                    }.get(event.kind, "deregisters")
+                    counts[key] += 1
+                    statuses.append("ok")
+                elif isinstance(error, ShardUnavailableError):
+                    counts["rejected_writes"] += 1
+                    statuses.append("rejected")
+                else:
+                    counts["workload_errors"] += 1
+                    statuses.append("error")
+                trigger.step(service)
+        return counts, statuses
     for event in events:
         try:
             if event.kind == "register":
@@ -456,14 +506,19 @@ def run_soak(config: SoakConfig) -> SoakReport:
         initial = scenario.initial_events()
         schedule_digest(initial, sched_hash)
         if pool is None:
-            counts, statuses = _apply_events(service, initial, trigger)
+            counts, statuses = _apply_events(
+                service, initial, trigger, config.write_batch_size
+            )
             _merge(ops_total, counts)
             if trace_hash is not None:
                 trace_hash.update(repr(statuses).encode())
         else:
             slices = [initial[i::config.threads] for i in range(config.threads)]
             futures = [
-                pool.submit(_apply_events, service, part, trigger)
+                pool.submit(
+                    _apply_events, service, part, trigger,
+                    config.write_batch_size,
+                )
                 for part in slices if part
             ]
             for future in futures:
@@ -489,7 +544,9 @@ def run_soak(config: SoakConfig) -> SoakReport:
                 trigger.arm(shard, min(at_op, max(1, len(events))))
                 recovery["crashes"] += 1
             if pool is None:
-                counts, statuses = _apply_events(service, events, trigger)
+                counts, statuses = _apply_events(
+                    service, events, trigger, config.write_batch_size
+                )
                 _merge(ops_total, counts)
                 if trace_hash is not None:
                     trace_hash.update(repr(statuses).encode())
@@ -504,7 +561,10 @@ def run_soak(config: SoakConfig) -> SoakReport:
                     _run_batch_queries, service, queries, config.batch_size,
                 )
                 futures = [
-                    pool.submit(_apply_events, service, part, trigger)
+                    pool.submit(
+                        _apply_events, service, part, trigger,
+                        config.write_batch_size,
+                    )
                     for part in slices if part
                 ]
                 for future in futures:

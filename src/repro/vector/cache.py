@@ -56,7 +56,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.model import LinearMotion1D
 from repro.core.predicates import matches_1d, matches_mor1
@@ -264,6 +264,36 @@ class QueryResultCache:
                 key
                 for key, (op, value) in self._entries.items()
                 if _affected(op, value, kind, oid, motion)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations.increment(len(doomed))
+
+    def on_update_batch(
+        self,
+        events: Sequence[Tuple[str, int, Optional[LinearMotion1D]]],
+    ) -> None:
+        """Batched :meth:`on_update`: one lock hold, one table scan.
+
+        Equivalent to observing each event in order — the generation
+        advances by one per event and each lands in the write log, so
+        :meth:`_fresh` replay arithmetic is unchanged — but the entry
+        table is scanned once against all events instead of once per
+        event.
+        """
+        if not events:
+            return
+        with self._lock:
+            for kind, oid, motion in events:
+                self._generation += 1
+                self._write_log.append((self._generation, kind, oid, motion))
+            doomed: List[Tuple] = [
+                key
+                for key, (op, value) in self._entries.items()
+                if any(
+                    _affected(op, value, kind, oid, motion)
+                    for kind, oid, motion in events
+                )
             ]
             for key in doomed:
                 del self._entries[key]

@@ -22,11 +22,12 @@ the versioned query cache (:mod:`repro.vector.cache`) listens to.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.model import LinearMotion1D
+from repro.vector import kernels
 
 #: Initial array capacity (doubles on overflow).
 _MIN_CAPACITY = 16
@@ -134,6 +135,95 @@ class MotionColumns:
     def clear(self) -> None:
         self._slots.clear()
         self._n = 0
+        self.version += 1
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the buffers (doubling) until ``extra`` rows fit."""
+        capacity = self._oid.shape[0]
+        while self._n + extra > capacity:
+            self._grow()
+            capacity = self._oid.shape[0]
+
+    def apply_events(
+        self, events: List[Tuple[str, int, Optional[LinearMotion1D]]]
+    ) -> None:
+        """Apply one batch of update-listener events in vectorized passes.
+
+        ``events`` is the trace dialect the scalar listener speaks —
+        ``(kind, oid, motion)`` in apply order.  Because the mirror
+        keys on oid alone, only the *last* event per oid matters; the
+        net effect is split into one patch scatter (existing rows),
+        one append slice (new rows) and one delete compaction
+        (:func:`repro.vector.kernels.patch_rows` /
+        :func:`~repro.vector.kernels.append_rows` /
+        :func:`~repro.vector.kernels.delete_rows`), so a batch of n
+        writes costs three array passes instead of n interpreter
+        round-trips.  Equivalent to replaying the events through
+        :meth:`as_listener` up to row order, which is documented as
+        arbitrary; ``version`` advances once per batch.
+        """
+        if not events:
+            return
+        last: Dict[int, Optional[LinearMotion1D]] = {}
+        for kind, oid, motion in events:
+            last[oid] = None if (kind == "delete" or motion is None) else motion
+
+        patch_slots: List[int] = []
+        patch_motions: List[LinearMotion1D] = []
+        fresh_oids: List[int] = []
+        fresh_motions: List[LinearMotion1D] = []
+        doomed: List[int] = []
+        for oid, motion in last.items():
+            slot = self._slots.get(oid)
+            if motion is None:
+                if slot is not None:
+                    doomed.append(slot)
+                    del self._slots[oid]
+            elif slot is not None:
+                patch_slots.append(slot)
+                patch_motions.append(motion)
+            else:
+                fresh_oids.append(oid)
+                fresh_motions.append(motion)
+
+        if patch_slots:
+            kernels.patch_rows(
+                self._y0,
+                self._v,
+                self._t0,
+                np.asarray(patch_slots, dtype=np.int64),
+                np.asarray([m.y0 for m in patch_motions], dtype=np.float64),
+                np.asarray([m.v for m in patch_motions], dtype=np.float64),
+                np.asarray([m.t0 for m in patch_motions], dtype=np.float64),
+            )
+        if doomed:
+            new_n, moved_oids, moved_to = kernels.delete_rows(
+                self._oid,
+                self._y0,
+                self._v,
+                self._t0,
+                self._n,
+                np.asarray(doomed, dtype=np.int64),
+            )
+            self._n = new_n
+            for moved, slot in zip(moved_oids, moved_to):
+                self._slots[int(moved)] = int(slot)
+        if fresh_oids:
+            self._reserve(len(fresh_oids))
+            start = self._n
+            self._n = kernels.append_rows(
+                self._oid,
+                self._y0,
+                self._v,
+                self._t0,
+                self._n,
+                np.asarray(fresh_oids, dtype=np.int64),
+                np.asarray([m.y0 for m in fresh_motions], dtype=np.float64),
+                np.asarray([m.v for m in fresh_motions], dtype=np.float64),
+                np.asarray([m.t0 for m in fresh_motions], dtype=np.float64),
+            )
+            for offset, oid in enumerate(fresh_oids):
+                self._slots[oid] = start + offset
         self.version += 1
 
     # -- write-hook integration ----------------------------------------------

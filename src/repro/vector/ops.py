@@ -1,10 +1,12 @@
-"""Query-operation vocabulary shared by the batch paths.
+"""Query- and write-operation vocabulary shared by the batch paths.
 
-These dataclasses are the wire format of one *read* request: the batch
-executor groups them into epochs, ``MotionDatabase.query_batch`` and
-``ShardedMotionService.query_batch`` evaluate lists of them in one
-kernel invocation, and the versioned result cache keys on them.  They
-live here — below both the engine and the service layer — so that
+These dataclasses are the wire format of one *read* or *write*
+request: the batch executor groups them into epochs,
+``MotionDatabase.query_batch`` and ``ShardedMotionService.query_batch``
+evaluate lists of query ops in one kernel invocation, the versioned
+result cache keys on them, and ``apply_batch``/``report_batch`` apply
+lists of write ops through one grouped pass per shard.  They live here
+— below both the engine and the service layer — so that
 ``repro.engine`` can accept them without importing ``repro.service``
 (which imports the engine).  ``repro.service.executor`` re-exports
 them under their historical names, so existing callers are untouched.
@@ -16,7 +18,7 @@ need the array stack, the vocabulary does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Dict, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,60 @@ class ProximityPairs:
 
 
 QueryOp = Union[Within, SnapshotAt, Nearest, ProximityPairs]
+
+
+@dataclass(frozen=True)
+class RegisterOp:
+    """Write op: admit a new object with motion ``y(t) = y0 + v·(t−t0)``."""
+
+    oid: int
+    y0: float
+    v: float
+    t0: float
+
+
+@dataclass(frozen=True)
+class ReportOp:
+    """Write op: replace an existing object's motion parameters."""
+
+    oid: int
+    y0: float
+    v: float
+    t0: float
+
+
+@dataclass(frozen=True)
+class DeregisterOp:
+    """Write op: remove an object from the live population."""
+
+    oid: int
+
+
+WriteOp = Union[RegisterOp, ReportOp, DeregisterOp]
+
+#: WriteOp class → WAL/trace-dialect record kind (the same dialect the
+#: update listeners and ``MotionDatabase.apply_event`` speak).
+WRITE_KINDS: Dict[type, str] = {
+    RegisterOp: "insert",
+    ReportOp: "update",
+    DeregisterOp: "delete",
+}
+
+
+def write_record(op: WriteOp) -> Tuple[str, Dict]:
+    """``(kind, fields)`` of one write op in the portable trace dialect.
+
+    The fields are exactly what a WAL record for the op carries (and
+    what :meth:`repro.engine.MotionDatabase.apply_event` replays), so
+    grouped per-shard appends can be built without consulting the op
+    classes again.
+    """
+    if isinstance(op, (RegisterOp, ReportOp)):
+        kind = WRITE_KINDS[type(op)]
+        return kind, {"oid": op.oid, "y0": op.y0, "v": op.v, "t0": op.t0}
+    if isinstance(op, DeregisterOp):
+        return "delete", {"oid": op.oid}
+    raise TypeError(f"unknown write operation {op!r}")
 
 
 def query_key(op: QueryOp, bucket: int = 0) -> Tuple:

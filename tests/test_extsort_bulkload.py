@@ -125,6 +125,34 @@ class TestBulkLoad:
             loose.insert(i, i)
         assert loose.height == height_before
 
+    @pytest.mark.parametrize("fill", [0.5, 0.67, 0.8, 1.0])
+    def test_bulk_load_fill_factor_sweep(self, fill):
+        """Leaf packing honours the fill factor across the range the
+        index layers actually use — 0.8 is the forest generation
+        rebuild's ``REBUILD_FILL``."""
+        n, capacity = 600, 10
+        items = [(i, i) for i in range(n)]
+        disk = DiskSimulator()
+        tree = BPlusTree.bulk_load(
+            disk, items, leaf_capacity=capacity, fill=fill
+        )
+        tree.check_invariants()
+        assert list(tree.items()) == items
+        # Page accounting: leaves ~= ceil(n / floor(capacity*fill));
+        # allow the index levels on top but no silent over-packing.
+        per_leaf = max(1, int(capacity * fill))
+        min_leaves = -(-n // capacity)         # packed at 100%
+        max_leaves = -(-n // per_leaf) + 1     # packed at `fill`
+        assert min_leaves <= disk.pages_in_use
+        assert disk.pages_in_use <= 2 * max_leaves  # leaves + index
+        # A partial fill leaves headroom: appends at the right edge
+        # must not immediately deepen the tree.
+        if fill <= 0.8:
+            height = tree.height
+            for i in range(n, n + capacity - per_leaf):
+                tree.insert(i, i)
+            assert tree.height == height
+
     def test_bulk_then_mutate(self):
         items = [(i, i) for i in range(300)]
         tree = BPlusTree.bulk_load(

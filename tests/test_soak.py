@@ -47,6 +47,33 @@ class TestDeterminism:
         assert first.trace_sha256 is not None
         assert first.ops == second.ops
 
+    def test_write_batch_size_one_is_the_scalar_path(self):
+        """``write_batch_size=1`` must be a no-op: the scalar write
+        path runs verbatim, so digests match a config that never
+        mentions the knob — a regression wall for the batch plumbing."""
+        scalar = run_soak(small_config())
+        batched_off = run_soak(small_config(write_batch_size=1))
+        assert scalar.divergences == batched_off.divergences == 0
+        assert scalar.schedule_sha256 == batched_off.schedule_sha256
+        assert scalar.trace_sha256 == batched_off.trace_sha256
+
+    def test_write_batch_storms_stay_deterministic(self):
+        """Routing write storms through ``apply_batch`` keeps the soak
+        deterministic (byte-identical digests across runs) and clean
+        under the differential oracles."""
+        reports = [
+            run_soak(small_config(write_batch_size=8)) for _ in range(2)
+        ]
+        first, second = reports
+        assert first.divergences == 0, first.divergence_labels
+        assert second.divergences == 0
+        assert first.schedule_sha256 == second.schedule_sha256
+        assert first.trace_sha256 == second.trace_sha256
+        # Same seed, same schedule as the scalar path: batching is a
+        # transport choice, never a workload change.
+        scalar = run_soak(small_config())
+        assert first.schedule_sha256 == scalar.schedule_sha256
+
     def test_different_seed_different_schedule(self):
         a = run_soak(small_config(ticks=3))
         b = run_soak(small_config(ticks=3, seed=78))
