@@ -1,6 +1,6 @@
 # Convenience targets for the mobile-object indexing reproduction.
 
-.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline rebalance-smoke rebalance-tests rebalance-baseline update-bench-smoke update-tests update-baseline bench figures examples results clean
+.PHONY: install check test service-smoke chaos-smoke subs-smoke batch-smoke service-tests chaos-tests subs-tests batch-tests batch-baseline durability-tests durability-smoke soak-smoke soak-tests soak-baseline rebalance-smoke rebalance-tests rebalance-baseline update-bench-smoke update-tests update-baseline parallel-smoke parallel-tests parallel-baseline serve-smoke bench figures examples results clean
 
 install:
 	python setup.py develop
@@ -23,6 +23,8 @@ check:
 	$(MAKE) rebalance-tests
 	$(MAKE) update-bench-smoke
 	$(MAKE) update-tests
+	$(MAKE) parallel-smoke
+	$(MAKE) parallel-tests
 
 test: check service-smoke
 	pytest tests/
@@ -130,17 +132,17 @@ soak-tests:
 		pytest tests/test_scenarios.py tests/test_scenarios_properties.py
 
 # Regenerate the committed soak baseline at the acceptance scale:
-# 10k objects, multi-threaded mixed workload, >=20 subscriptions,
-# 2 crash/recovery cycles plus a durable WAL restart, zero tolerated
-# divergences.
+# 100k objects, multi-threaded mixed workload over a 4-wide worker
+# pool, >=20 subscriptions, 2 crash/recovery cycles plus a durable
+# WAL restart, zero tolerated divergences.
 soak-baseline:
 	rm -rf .soak-wal
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
-		python -m repro serve-bench --soak --scenario city --n 10000 \
+		python -m repro serve-bench --soak --scenario city --n 100000 \
 		--ticks 12 --shards 4 --replication 2 --threads 4 --subs 24 \
 		--queries 64 --batch-size 16 --arrivals 40 --departures 25 \
 		--crashes 2 --restarts 1 --wal-dir .soak-wal --fsync batch:32 \
-		--check-every 3 --seed 42 \
+		--check-every 3 --seed 42 --pool-workers 4 \
 		--soak-json benchmarks/results/BENCH_soak.json
 	rm -rf .soak-wal
 
@@ -167,6 +169,44 @@ rebalance-baseline:
 		python -m repro serve-bench --rebalance --n 10000 --shards 4 \
 		--updates 2000 --seed 42 --verify \
 		--rebalance-json benchmarks/results/BENCH_rebalance.json
+
+# Worker-pool smoke: a small scaling sweep (in-process oracle vs a
+# 2-wide process pool over shared-memory columns) with every pooled
+# answer differentially verified (exit 3 on any divergence), plus the
+# async frontend's overload drill.
+parallel-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --parallel --n 2000 --queries 90 \
+		--shards 3 --batch-size 30 --pool-workers 0 2 --clients 6 \
+		--requests 10 --queue-depth 8 --seed 5
+
+# The parallel-tier suites alone: shared-memory column contract +
+# seqlock snapshots, growth-policy regressions, pool byte-identity
+# across widths x shards x seeds, worker-SIGKILL chaos, the asyncio
+# frontend's admission/shed/drain semantics, and segment cleanup.
+parallel-tests:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest -m parallel
+
+# Regenerate the committed worker-pool scaling baseline at the
+# acceptance scale (100k objects; 0 = the in-process oracle leg).
+# The report records host cores: the pooled legs only show real
+# speedup when the machine has cores to put the shards on.
+parallel-baseline:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --parallel --n 100000 \
+		--queries 600 --shards 4 --batch-size 50 \
+		--pool-workers 0 1 2 4 --seed 42 \
+		--clients 48 --requests 20 --queue-depth 16 \
+		--parallel-json benchmarks/results/BENCH_parallel.json
+
+# Concurrent-client serving drill against the admission-controlled
+# asyncio frontend: bounded accepted-request p99, explicit shedding.
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro serve-bench --serve --n 2000 --queries 60 \
+		--shards 3 --pool-workers 2 --clients 12 --requests 25 \
+		--queue-depth 8 --seed 5
 
 # Batched write-path smoke: apply_batch must produce byte-identical
 # outcomes, catalogs and probe answers to the scalar write calls over

@@ -146,6 +146,10 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import ServeBenchConfig, run_serve_bench
 
+    if args.parallel:
+        return _cmd_parallel_bench(args)
+    if args.serve:
+        return _cmd_serve_drill(args)
     if args.soak:
         return _cmd_soak_bench(args)
     if args.subscriptions:
@@ -299,6 +303,110 @@ def _cmd_rebalance_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel_bench(args: argparse.Namespace) -> int:
+    """``serve-bench --parallel``: the worker-pool scaling curve with
+    differential verification plus the frontend overload drill (exit 3
+    on any divergence)."""
+    from repro.service.parallel_bench import (
+        ParallelBenchConfig,
+        run_parallel_bench,
+    )
+
+    try:
+        config = ParallelBenchConfig(
+            n=args.n,
+            queries=args.queries,
+            shards=args.shards,
+            batch_size=args.batch_size,
+            workers_list=(
+                tuple(args.pool_workers)
+                if args.pool_workers
+                else (0, 1, 2, 4)
+            ),
+            method=args.method,
+            router=args.router,
+            seed=args.seed,
+            serve_clients=args.clients,
+            serve_requests=args.requests,
+            serve_queue_depth=args.queue_depth,
+            json_path=args.parallel_json,
+        )
+        report = run_parallel_bench(config)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.parallel_json:
+        print(f"wrote {args.parallel_json}")
+    if not report.ok:
+        print(
+            "serve-bench: pooled answers DIVERGED from the in-process "
+            f"path ({report.divergences} mismatches)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_serve_drill(args: argparse.Namespace) -> int:
+    """``serve-bench --serve``: concurrent async clients against the
+    admission-controlled frontend — queued-arrival latency, bounded
+    p99, explicit shed accounting."""
+    import json as _json
+
+    from repro.service.parallel_bench import (
+        ParallelBenchConfig,
+        build_queries,
+        run_overload_drill,
+    )
+    import random as _random
+
+    try:
+        workers = max(args.pool_workers) if args.pool_workers else 0
+        config = ParallelBenchConfig(
+            n=args.n,
+            queries=args.queries,
+            shards=args.shards,
+            batch_size=args.batch_size,
+            workers_list=(0, workers) if workers else (0,),
+            method=args.method,
+            router=args.router,
+            seed=args.seed,
+            serve_clients=args.clients,
+            serve_requests=args.requests,
+            serve_queue_depth=args.queue_depth,
+        )
+        stream = build_queries(_random.Random(config.seed + 1), config)
+        drill = run_overload_drill(config, stream)
+    except ValueError as error:
+        print(f"serve-bench: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serve-drill: {drill['clients']} clients offered "
+        f"{drill['offered']} requests over {config.n} objects "
+        f"({drill['workers']} pool workers, queue depth "
+        f"{drill['queue_depth']})"
+    )
+    print(
+        f"  accepted {drill['accepted']}, shed {drill['shed']}, "
+        f"completed {drill['completed']} "
+        f"(max observed depth {drill['max_observed_depth']})"
+    )
+    print(
+        f"  accepted latency: p50 {drill['p50_ms']:.1f}ms / "
+        f"p99 {drill['p99_ms']:.1f}ms"
+    )
+    if args.parallel_json:
+        with open(args.parallel_json, "w") as handle:
+            _json.dump(
+                {"name": "serve-drill", "drill": drill},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.parallel_json}")
+    return 0
+
+
 def _cmd_soak_bench(args: argparse.Namespace) -> int:
     """``serve-bench --soak``: the full-stack concurrent soak under
     differential oracles (exit 3 on any divergence)."""
@@ -329,6 +437,7 @@ def _cmd_soak_bench(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             seed=args.seed,
             write_batch_size=args.write_batch,
+            workers=max(args.pool_workers) if args.pool_workers else 0,
         )
         report = run_soak(config)
     except ValueError as error:
@@ -550,6 +659,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--write-batch", type=int, default=1,
                        help="write ops per apply_batch call; 1 = "
                             "scalar write path (--soak mode)")
+    serve.add_argument("--parallel", action="store_true",
+                       help="worker-pool scaling curve with "
+                            "differential verification plus the "
+                            "frontend overload drill")
+    serve.add_argument("--serve", action="store_true",
+                       help="concurrent async clients against the "
+                            "admission-controlled frontend (queued-"
+                            "arrival latency, shed accounting)")
+    serve.add_argument("--pool-workers", type=int, nargs="+",
+                       default=None,
+                       help="worker-process pool widths to sweep "
+                            "(--parallel; 0 = in-process oracle leg; "
+                            "default 0 1 2 4). --serve and --soak use "
+                            "the max (their default is 0, in-process)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent async clients (--serve / the "
+                            "--parallel drill)")
+    serve.add_argument("--requests", type=int, default=40,
+                       help="requests per client (--serve)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="frontend admission-queue bound (--serve)")
+    serve.add_argument("--parallel-json", metavar="PATH", default=None,
+                       help="dump the parallel/serve report as JSON")
     serve.set_defaults(func=_cmd_serve_bench)
 
     listing = sub.add_parser("list", help="list registered index methods")

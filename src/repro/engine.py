@@ -75,6 +75,12 @@ class MotionDatabase:
         :mod:`repro.vector` (default).  With ``vector=False`` — or
         when ``numpy`` is unavailable — batches fall back to the
         scalar per-query path with identical results.
+    columns_factory:
+        Override the mirror implementation (default
+        :class:`~repro.vector.columns.MotionColumns`); the service's
+        worker-process tier passes
+        :class:`~repro.vector.shm.SharedMotionColumns` here so other
+        processes can read the rows.  Ignored when ``vector`` is off.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class MotionDatabase:
         index_factory: Optional[Callable[[MotionModel], MobileIndex1D]] = None,
         keep_history: bool = False,
         vector: bool = True,
+        columns_factory: Optional[Callable[[], object]] = None,
     ) -> None:
         self.model = MotionModel(Terrain1D(y_max), v_min, v_max)
         factory = index_factory or METHOD_FACTORIES.get(method)
@@ -109,7 +116,10 @@ class MotionDatabase:
         if vector and HAVE_NUMPY:
             from repro.vector.columns import MotionColumns
 
-            self._columns = MotionColumns()
+            # columns_factory swaps in a different mirror implementation
+            # (e.g. SharedMotionColumns for the worker-process tier)
+            # with the same contract.
+            self._columns = (columns_factory or MotionColumns)()
             self._columns_listener = self._columns.as_listener()
             self.attach_update_listener(self._columns_listener)
 
@@ -506,6 +516,11 @@ class MotionDatabase:
     def vector_enabled(self) -> bool:
         """Whether the columnar fast path is active."""
         return self._columns is not None
+
+    @property
+    def columns(self):
+        """The live columnar mirror (``None`` when vector is off)."""
+        return self._columns
 
     def query_batch(self, queries: List[QueryOp]) -> List:
         """Answer a batch of read operations in one call.

@@ -77,13 +77,29 @@ from repro.service.faults import (
     truncate_file,
 )
 from repro.service.health import CircuitBreaker, RetryPolicy
+from repro.service.frontend import (
+    AsyncFrontend,
+    FrontendConfig,
+    Overloaded,
+)
 from repro.service.metrics import (
     Counter,
     DURABILITY_COUNTERS,
+    FRONTEND_COUNTERS,
     Histogram,
     MetricsRegistry,
+    PARALLEL_COUNTERS,
     REBALANCE_COUNTERS,
     wal_event_recorder,
+)
+from repro.service.parallel import (
+    WorkerCrashError,
+    WorkerPool,
+)
+from repro.service.parallel_bench import (
+    ParallelBenchConfig,
+    ParallelBenchReport,
+    run_parallel_bench,
 )
 from repro.service.rebalance import (
     RebalanceConfig,
@@ -108,6 +124,7 @@ from repro.service.sharding import (
 from repro.service.wal import ShardWAL
 
 __all__ = [
+    "AsyncFrontend",
     "BandRouter",
     "BatchBenchConfig",
     "BatchBenchReport",
@@ -118,19 +135,24 @@ __all__ = [
     "CrashPointSpec",
     "DURABILITY_COUNTERS",
     "Deregister",
+    "FRONTEND_COUNTERS",
     "FaultInjector",
     "FaultSpec",
     "FaultTolerantMotionService",
+    "FrontendConfig",
     "HashRouter",
     "Histogram",
     "MIGRATION_CRASH_POINTS",
-    "WRITE_BATCH_CRASH_POINTS",
     "MetricsRegistry",
     "MigrationState",
     "Nearest",
     "OpResult",
     "Operation",
+    "Overloaded",
     "OwnershipTable",
+    "PARALLEL_COUNTERS",
+    "ParallelBenchConfig",
+    "ParallelBenchReport",
     "PartialResult",
     "ProximityPairs",
     "REBALANCE_COUNTERS",
@@ -154,13 +176,17 @@ __all__ = [
     "SubscriptionDelta",
     "SubscriptionManager",
     "VelocityRouter",
+    "WRITE_BATCH_CRASH_POINTS",
     "Within",
+    "WorkerCrashError",
+    "WorkerPool",
     "build_service",
     "flip_bit",
     "mix_oid",
     "op_class_name",
     "replay_deltas",
     "run_batch_bench",
+    "run_parallel_bench",
     "run_serve_bench",
     "run_subscription_bench",
     "truncate_file",

@@ -178,6 +178,44 @@ class MetricsRegistry:
         """Book one shard's share of an operation (zero latency)."""
         self.shard_operation(shard, name).record(0.0, io)
 
+    def record_shard_latency(
+        self, shard: int, name: str, latency_s: float
+    ) -> None:
+        """Book one shard's compute latency for an operation.
+
+        The inverse of :meth:`record_shard_io` (which books a real I/O
+        delta with latency 0.0): this books a real latency sample and
+        touches neither I/O histogram.  Use a dedicated operation name
+        (the parallel tier uses ``"query_batch.compute"``) so the
+        zero-latency I/O samples of the main span never poison these
+        percentiles — they are what the latency-skew rebalance
+        detector reads.
+        """
+        metrics = self.shard_operation(shard, name)
+        metrics.calls.increment()
+        metrics.latency_ms.record(latency_s * 1000.0)
+
+    def shard_latency_percentile(
+        self, name: str, p: float
+    ) -> Dict[int, float]:
+        """Per-shard ``p``-th latency percentile for one operation.
+
+        Shards with no samples under ``name`` are omitted; the
+        rebalance controller treats an absent shard as "no evidence",
+        not "fast".
+        """
+        with self._lock:
+            keyed = [
+                (shard, metrics)
+                for (shard, op), metrics in self._shard_ops.items()
+                if op == name
+            ]
+        return {
+            shard: metrics.latency_ms.percentile(p)
+            for shard, metrics in keyed
+            if metrics.latency_ms.count
+        }
+
     def record_batch_failure(self, name: str) -> None:
         """Count one failed batch operation (an ``OpResult`` carrying
         an error).
@@ -282,6 +320,35 @@ REBALANCE_COUNTERS = {
     "rebalance_double_writes": "reports landed on both participants "
                                "of an open migration window",
     "rebalance_fenced_writes": "double-writes rejected by a stale epoch",
+    "rebalance_auto_triggers": "passes started because a detector "
+                               "(count or latency skew) tripped",
+}
+
+
+#: Counter names the multi-process execution tier books (see
+#: :mod:`repro.service.parallel` and the pooled leg of
+#: ``ShardedMotionService.query_batch``).
+PARALLEL_COUNTERS = {
+    "parallel_tasks": "per-shard sub-batches dispatched to the pool",
+    "parallel_worker_deaths": "worker processes found dead mid-batch",
+    "parallel_respawns": "replacement workers spawned",
+    "parallel_inline_fallbacks": "sub-batches recomputed in-process "
+                                 "after a pool failure",
+    "parallel_torn_reads": "seqlock snapshots that never stabilized",
+}
+
+
+#: Counter names the asyncio serving layer books (see
+#: :mod:`repro.service.frontend`); per-request latency lands under
+#: ``operations["frontend.<op>"]``.
+FRONTEND_COUNTERS = {
+    "frontend_accepted": "requests admitted to the queue",
+    "frontend_shed": "requests rejected with Overloaded",
+    "frontend_completed": "requests answered",
+    "frontend_failed": "requests that raised inside the service",
+    "frontend_health_checks": "background health-check sweeps",
+    "frontend_rebalances": "rebalance passes triggered by the "
+                           "health-check cadence",
 }
 
 

@@ -1,0 +1,412 @@
+"""The ``serve-bench --parallel`` workload: the worker-pool scaling
+curve, differential-verified, plus a frontend overload drill.
+
+Two legs, one committed JSON (``BENCH_parallel.json``):
+
+* **scaling** — the same seeded query stream against identically
+  populated services at each requested pool width (``workers=0`` is
+  the in-process leg and the differential oracle).  Every answer of
+  every pooled leg is compared to the inline leg with ``==``;
+  divergences fail the run (exit 3), so the throughput numbers can
+  never hide a wrong answer.  The result cache is disabled — this
+  bench measures the compute path, not memoization.
+* **serve** — the asyncio frontend driven by concurrent clients
+  offering more load than ``queue_depth`` admits: proves p99 of the
+  *accepted* requests stays bounded (the queue is finite) and that
+  the excess is shed explicitly (``Overloaded``), not buffered.
+
+The report records ``host.cores``: shards execute truly in parallel
+only when the machine has cores to put them on.  On a single-core
+host the pooled legs measure the dispatch overhead honestly (expect
+<= 1x); the scaling claim needs >= the pool width in cores.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.frontend import AsyncFrontend, FrontendConfig, Overloaded
+from repro.service.service import ShardedMotionService
+from repro.vector.ops import (
+    Nearest,
+    QueryOp,
+    RegisterOp,
+    SnapshotAt,
+    Within,
+)
+
+DEFAULT_Y_MAX = 10_000.0
+DEFAULT_V_MIN = 0.5
+DEFAULT_V_MAX = 50.0
+
+
+def host_cores() -> int:
+    """Cores this process may run on (the scaling ceiling)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ParallelBenchConfig:
+    """Parameters of one ``serve-bench --parallel`` run (all seeded)."""
+
+    n: int = 100_000
+    queries: int = 600
+    shards: int = 4
+    batch_size: int = 50
+    workers_list: Sequence[int] = (0, 1, 2, 4)
+    method: str = "forest"
+    router: str = "hash"
+    seed: int = 42
+    #: Overload drill: concurrent clients, requests per client, and
+    #: the (deliberately small) admission queue.
+    serve_clients: int = 8
+    serve_requests: int = 40
+    serve_queue_depth: int = 32
+    serve_max_batch: int = 16
+    #: Where to dump the machine-readable report; ``None`` skips.
+    json_path: Optional[str] = None
+
+
+@dataclass
+class ScalingPoint:
+    """One pool width's timing against the shared oracle answers."""
+
+    workers: int
+    elapsed_s: float
+    qps: float
+    speedup: float
+    divergences: int
+    respawns: int = 0
+
+
+@dataclass
+class ParallelBenchReport:
+    """Scaling curve + overload drill + host facts."""
+
+    config: ParallelBenchConfig
+    cores: int
+    points: List[ScalingPoint]
+    frontend: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def divergences(self) -> int:
+        return sum(p.divergences for p in self.points)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergences == 0
+
+    @property
+    def best_speedup(self) -> float:
+        pooled = [p.speedup for p in self.points if p.workers > 0]
+        return max(pooled) if pooled else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        config = asdict(self.config)
+        config["workers_list"] = list(self.config.workers_list)
+        return {
+            "name": "parallel",
+            "config": config,
+            "host": {"cores": self.cores},
+            "scaling": [
+                {
+                    "workers": p.workers,
+                    "elapsed_s": round(p.elapsed_s, 6),
+                    "throughput_qps": round(p.qps, 1),
+                    "speedup_vs_inline": round(p.speedup, 3),
+                    "divergences": p.divergences,
+                    "respawns": p.respawns,
+                }
+                for p in self.points
+            ],
+            "frontend": dict(self.frontend),
+            "divergences": self.divergences,
+            "note": (
+                "speedup_vs_inline reflects host.cores; true scaling "
+                "needs >= workers cores"
+            ),
+        }
+
+    def render(self) -> str:
+        c = self.config
+        lines = [
+            (
+                f"parallel-bench: {c.queries} queries x {len(self.points)}"
+                f" pool widths over {c.n} objects, {c.shards} shards, "
+                f"batch size {c.batch_size} — host has {self.cores} "
+                f"core(s)"
+            )
+        ]
+        for p in self.points:
+            label = "inline" if p.workers == 0 else f"{p.workers} workers"
+            lines.append(
+                f"  {label:>10}: {p.elapsed_s:.3f}s — {p.qps:,.0f} "
+                f"queries/s ({p.speedup:.2f}x vs inline, "
+                f"{p.divergences} divergences)"
+            )
+        if self.cores == 1:
+            lines.append(
+                "  note: single-core host — pooled legs can only "
+                "measure dispatch overhead; run on >= "
+                f"{max((p.workers for p in self.points), default=1)} "
+                "cores for the scaling claim"
+            )
+        if self.frontend:
+            f = self.frontend
+            lines.append(
+                f"frontend overload: offered {f['offered']}, accepted "
+                f"{f['accepted']}, shed {f['shed']} "
+                f"(queue depth {f['queue_depth']}); accepted p50 "
+                f"{f['p50_ms']:.1f}ms / p99 {f['p99_ms']:.1f}ms"
+            )
+        lines.append(
+            "differential verification: "
+            + (
+                "OK — every pooled answer matches the inline path"
+                if self.ok
+                else f"MISMATCH — {self.divergences} divergences"
+            )
+        )
+        return "\n".join(lines)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def build_queries(
+    rng: random.Random, config: ParallelBenchConfig
+) -> List[QueryOp]:
+    """Seeded range/snapshot/kNN mix (no repeats — the cache is off)."""
+    stream: List[QueryOp] = []
+    for q in range(config.queries):
+        t1 = rng.uniform(1.0, 10.0)
+        kind = q % 3
+        if kind == 0:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.85)
+            stream.append(
+                Within(
+                    y1,
+                    y1 + DEFAULT_Y_MAX * 0.1,
+                    t1,
+                    t1 + rng.uniform(1.0, 20.0),
+                )
+            )
+        elif kind == 1:
+            y1 = rng.uniform(0.0, DEFAULT_Y_MAX * 0.9)
+            stream.append(SnapshotAt(y1, y1 + DEFAULT_Y_MAX * 0.05, t1))
+        else:
+            stream.append(
+                Nearest(rng.uniform(0.0, DEFAULT_Y_MAX), t1, k=rng.randint(1, 8))
+            )
+    return stream
+
+
+def _build_populated(
+    config: ParallelBenchConfig, workers: int
+) -> ShardedMotionService:
+    """One service at the given pool width, identically populated.
+
+    The population is a function of the seed alone, so every leg
+    queries the same object set; the bulk write path keeps the 100k
+    fill from dominating the run.
+    """
+    service = ShardedMotionService(
+        DEFAULT_Y_MAX,
+        DEFAULT_V_MIN,
+        DEFAULT_V_MAX,
+        shards=config.shards,
+        method=config.method,
+        router=config.router,
+        cache_capacity=0,
+        workers=workers,
+    )
+    rng = random.Random(config.seed)
+    batch: List[RegisterOp] = []
+    for oid in range(config.n):
+        speed = rng.uniform(DEFAULT_V_MIN, DEFAULT_V_MAX)
+        direction = 1 if rng.random() < 0.5 else -1
+        batch.append(
+            RegisterOp(
+                oid, rng.uniform(0.0, DEFAULT_Y_MAX), direction * speed, 0.0
+            )
+        )
+        if len(batch) >= 5000:
+            service.apply_batch(batch)
+            batch = []
+    if batch:
+        service.apply_batch(batch)
+    return service
+
+
+def _run_stream(
+    service: ShardedMotionService,
+    stream: List[QueryOp],
+    batch_size: int,
+) -> List:
+    answers: List = []
+    for begin in range(0, len(stream), batch_size):
+        answers.extend(service.query_batch(stream[begin:begin + batch_size]))
+    return answers
+
+
+def run_overload_drill(
+    config: ParallelBenchConfig, stream: List[QueryOp]
+) -> Dict[str, object]:
+    """Concurrent clients against a small queue: shed count and the
+    accepted requests' latency distribution."""
+    if config.n < 1:
+        raise ValueError(f"need at least 1 object, got n={config.n}")
+    if config.serve_clients < 1:
+        raise ValueError(
+            f"need at least 1 client, got clients={config.serve_clients}"
+        )
+    if config.serve_requests < 1:
+        raise ValueError(
+            "need at least 1 request per client, got "
+            f"requests={config.serve_requests}"
+        )
+    if config.serve_queue_depth < 1:
+        raise ValueError(
+            "need a positive admission queue, got "
+            f"queue_depth={config.serve_queue_depth}"
+        )
+    if not stream:
+        raise ValueError("need a non-empty query stream, got 0 queries")
+    workers = max(config.workers_list)
+    service = _build_populated(config, workers)
+    offered = config.serve_clients * config.serve_requests
+    ops = [stream[i % len(stream)] for i in range(offered)]
+
+    async def drive() -> Dict[str, object]:
+        fe_config = FrontendConfig(
+            queue_depth=config.serve_queue_depth,
+            max_batch=config.serve_max_batch,
+            health_every_s=0.0,
+        )
+        shed = 0
+        completed = 0
+        max_depth = 0
+
+        async def client(cid: int, frontend: AsyncFrontend):
+            nonlocal shed, completed, max_depth
+            for r in range(config.serve_requests):
+                op = ops[cid * config.serve_requests + r]
+                max_depth = max(max_depth, frontend.queue_depth())
+                answer = await frontend.submit(op)
+                if isinstance(answer, Overloaded):
+                    shed += 1
+                    await asyncio.sleep(0.002)  # back off, then go on
+                else:
+                    completed += 1
+
+        async with AsyncFrontend(service, fe_config) as frontend:
+            await asyncio.gather(
+                *(client(c, frontend) for c in range(config.serve_clients))
+            )
+        snapshot = service.metrics.snapshot()
+        latencies = {
+            name.split(".", 1)[1]: stats
+            for name, stats in snapshot["operations"].items()
+            if name.startswith("frontend.")
+        }
+        p50 = max((s["p50_ms"] for s in latencies.values()), default=0.0)
+        p99 = max((s["p99_ms"] for s in latencies.values()), default=0.0)
+        counters = snapshot["counters"]
+        return {
+            "workers": workers,
+            "clients": config.serve_clients,
+            "offered": offered,
+            "accepted": counters.get("frontend_accepted", 0),
+            "shed": counters.get("frontend_shed", 0),
+            "completed": counters.get("frontend_completed", 0),
+            "queue_depth": config.serve_queue_depth,
+            "max_observed_depth": max_depth,
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "per_op": latencies,
+        }
+
+    try:
+        return asyncio.run(drive())
+    finally:
+        service.close()
+
+
+def run_parallel_bench(config: ParallelBenchConfig) -> ParallelBenchReport:
+    """Run every pool width against the shared oracle, then the drill."""
+    if config.n < 1:
+        raise ValueError(f"need at least 1 object, got n={config.n}")
+    if config.queries < 1:
+        raise ValueError(
+            f"need at least 1 query, got queries={config.queries}"
+        )
+    if not config.workers_list or 0 not in config.workers_list:
+        raise ValueError(
+            "workers_list must include 0 (the inline oracle leg), got "
+            f"{list(config.workers_list)}"
+        )
+    if any(w < 0 for w in config.workers_list):
+        raise ValueError(
+            f"workers must be >= 0, got {list(config.workers_list)}"
+        )
+    stream = build_queries(random.Random(config.seed + 1), config)
+
+    oracle: Optional[List] = None
+    inline_s = 0.0
+    points: List[ScalingPoint] = []
+    # Ascending, so the workers=0 oracle leg always runs first.
+    for workers in sorted(set(config.workers_list)):
+        service = _build_populated(config, workers)
+        try:
+            if workers > 0:
+                # One throwaway batch per width so worker spawn /
+                # import cost lands outside the timed region.
+                service.query_batch(stream[: min(4, len(stream))])
+            start = time.perf_counter()
+            answers = _run_stream(service, stream, config.batch_size)
+            elapsed = time.perf_counter() - start
+            respawns = (
+                service.pool.respawns if service.pool is not None else 0
+            )
+        finally:
+            service.close()
+        if workers == 0:
+            oracle = answers
+            inline_s = elapsed
+            diverged = 0
+        else:
+            diverged = sum(
+                1 for got, want in zip(answers, oracle) if got != want
+            )
+        points.append(
+            ScalingPoint(
+                workers=workers,
+                elapsed_s=elapsed,
+                qps=len(stream) / elapsed if elapsed > 0 else 0.0,
+                speedup=(inline_s / elapsed) if elapsed > 0 else 0.0,
+                divergences=diverged,
+                respawns=respawns,
+            )
+        )
+
+    frontend = run_overload_drill(config, stream)
+    report = ParallelBenchReport(
+        config=config,
+        cores=host_cores(),
+        points=points,
+        frontend=frontend,
+    )
+    if config.json_path:
+        report.write_json(config.json_path)
+    return report

@@ -81,17 +81,35 @@ class RebalanceConfig:
         rebalance_once` run (0 = move everything the new cut
         displaced).  A capped run converges over repeated ticks —
         the soak harness's mid-run rebalances rely on that.
+    latency_skew_threshold:
+        Second trigger: ``max(p99) / mean(p99)`` over the per-shard
+        compute-latency spans.  Object counts miss a shard that is
+        slow *per object* (wide band → wide §3.5 rectangles, or a
+        cold worker lane); observed latency is the ground truth the
+        counts approximate.
+    latency_op:
+        The :class:`~repro.service.metrics.MetricsRegistry` per-shard
+        operation the latency detector reads.  The default is the
+        span both query legs (inline and pooled) record per shard
+        sub-batch.
     """
 
     skew_threshold: float = 1.5
     bins: int = 32
     min_objects: int = 16
     max_migrations: int = 0
+    latency_skew_threshold: float = 2.0
+    latency_op: str = "query_batch.compute"
 
     def __post_init__(self) -> None:
         if self.skew_threshold < 1.0:
             raise ValueError(
                 f"skew_threshold must be >= 1.0, got {self.skew_threshold}"
+            )
+        if self.latency_skew_threshold < 1.0:
+            raise ValueError(
+                f"latency_skew_threshold must be >= 1.0, got "
+                f"{self.latency_skew_threshold}"
             )
         if self.bins < 1:
             raise ValueError(f"bins must be >= 1, got {self.bins}")
@@ -204,6 +222,55 @@ class RebalanceController:
         if total == 0:
             return 0.0
         return max(counts) * len(counts) / total
+
+    def latency_skew(self) -> float:
+        """``max / mean`` over per-shard p99 compute latency.
+
+        Reads the ``config.latency_op`` spans the service records per
+        shard sub-batch (:meth:`MetricsRegistry.
+        shard_latency_percentile`).  Returns 0.0 — "no evidence" —
+        until at least two shards have samples: one hot shard proves
+        nothing about *relative* imbalance.
+        """
+        p99 = self.metrics.shard_latency_percentile(
+            self.config.latency_op, 99.0
+        )
+        if len(p99) < 2:
+            return 0.0
+        values = list(p99.values())
+        mean = sum(values) / len(values)
+        if mean <= 0.0:
+            return 0.0
+        return max(values) / mean
+
+    def should_rebalance(self) -> bool:
+        """Either detector trips: count skew **or** latency skew.
+
+        The count detector sees placement imbalance; the latency
+        detector sees cost imbalance the counts can't (a band whose
+        width makes every query expensive, a persistently slow
+        lane).  Population floor applies to both.
+        """
+        counts = self.service.primary_counts()
+        if sum(counts) < self.config.min_objects:
+            return False
+        if self.skew(counts) >= self.config.skew_threshold:
+            return True
+        return self.latency_skew() >= self.config.latency_skew_threshold
+
+    def maybe_rebalance(self) -> Optional[RebalanceReport]:
+        """One pass iff :meth:`should_rebalance` — the frontend's
+        health-check cadence entry point.
+
+        Runs with ``force=True`` because the gate already fired here
+        (the latency detector can trip while counts look balanced, and
+        :meth:`rebalance_once`'s own gate only knows counts); a cut
+        that cannot improve the cost model still migrates nothing.
+        """
+        if not self.should_rebalance():
+            return None
+        self.metrics.counter("rebalance_auto_triggers").increment()
+        return self.rebalance_once(force=True)
 
     def velocity_histogram(self) -> List[int]:
         """Histogram of ``|v|`` over ``config.bins`` even-width bins

@@ -195,6 +195,8 @@ class FaultTolerantMotionService(ShardedMotionService):
         wal_dir: Optional[str] = None,
         wal_fsync: str = "always",
         wal_crash_hook: Optional[Callable[[str], None]] = None,
+        workers: int = 0,
+        pool=None,
     ) -> None:
         super().__init__(
             y_max,
@@ -206,6 +208,8 @@ class FaultTolerantMotionService(ShardedMotionService):
             keep_history=keep_history,
             router=router,
             metrics=metrics,
+            workers=workers,
+            pool=pool,
         )
         if not 1 <= replication_factor <= shards:
             raise ValueError(
@@ -1175,6 +1179,27 @@ class FaultTolerantMotionService(ShardedMotionService):
 
     # -- failure administration --------------------------------------------------
 
+    def _handle_worker_death(self, shards: List[int]) -> bool:
+        """A pool worker died mid-batch: treat its shards as crashed.
+
+        Routes the loss through the *existing* failure machinery
+        instead of recomputing inline: each lost lane's shard is
+        marked down (cache generation floored, exactly like an
+        operator :meth:`kill_shard`), and returning ``False`` tells
+        the base fan-out to fill placeholders — the fast path's
+        post-batch health re-check then discards the whole batch and
+        re-answers it on the degraded per-operation path, surfacing
+        :class:`~repro.service.faults.PartialResult` where coverage
+        was genuinely lost.  :meth:`recover_shard` brings the shard
+        back exactly as after any other crash.
+        """
+        self.metrics.counter("parallel_worker_deaths").increment(
+            len(shards)
+        )
+        for shard in shards:
+            self.kill_shard(shard, reason="pool worker death")
+        return False
+
     def kill_shard(self, shard: int, reason: str = "operator kill") -> None:
         """Simulate an abrupt shard death (tests and chaos drills).
 
@@ -1246,6 +1271,7 @@ class FaultTolerantMotionService(ShardedMotionService):
                     db.report(oid, m.y0, m.v, m.t0)
                     repaired += 1
             node.wal.checkpoint(db)
+            self._retire_database(self._shards[shard])
             self._shards[shard] = db
             node.breaker.reset()
             node.mark_up()
@@ -1360,6 +1386,7 @@ class FaultTolerantMotionService(ShardedMotionService):
                         db.report(oid, m.y0, m.v, m.t0)
                         repaired += 1
                 node.wal.checkpoint(db)
+                self._retire_database(self._shards[shard])
                 self._shards[shard] = db
                 node.breaker.reset()
                 node.mark_up()
@@ -1383,9 +1410,11 @@ class FaultTolerantMotionService(ShardedMotionService):
         }
 
     def close(self) -> None:
-        """Release durable-backend resources (log file handles)."""
+        """Release durable-backend resources (log file handles) and
+        the parallel tier (owned pool + shared segments)."""
         for node in self._nodes:
             node.wal.close()
+        super().close()
 
     # -- accounting --------------------------------------------------------------
 

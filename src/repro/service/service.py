@@ -37,6 +37,7 @@ Every public operation runs inside a metrics span; see
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.model import LinearMotion1D, MotionModel
@@ -50,6 +51,7 @@ from repro.errors import (
 from repro.indexes.base import MobileIndex1D
 from repro.io_sim.stats import combine_snapshots
 from repro.service.metrics import MetricsRegistry
+from repro.service.parallel import WorkerCrashError, WorkerPool
 from repro.service.sharding import (
     BandRouter,
     HashRouter,
@@ -83,6 +85,16 @@ def _no_hook(point: str) -> None:
     """Default (disarmed) migration crash-point hook."""
 
 
+def _empty_answer(op: QueryOp):
+    """The empty per-shard answer for one shardable operation.
+
+    Used as a placeholder for lanes lost to a worker death when the
+    fault-tolerant policy discards the batch anyway — an empty set /
+    list merges as a no-op and can never invent an object.
+    """
+    return [] if isinstance(op, Nearest) else set()
+
+
 class ShardedMotionService:
     """Hash- (or velocity-) partitioned motion database service.
 
@@ -100,6 +112,19 @@ class ShardedMotionService:
         Tuning for the memoizing :class:`QueryResultCache` consulted
         by :meth:`query_batch` (see that class for the keying and
         invalidation rules).  ``cache_capacity=0`` disables the cache.
+    workers / pool:
+        The multi-process execution tier.  ``workers=N`` (N >= 1)
+        spawns a service-owned :class:`~repro.service.parallel.
+        WorkerPool` of N processes; alternatively pass an existing
+        ``pool`` to share one across services (the caller keeps
+        ownership).  Either way each shard's columnar mirror moves
+        into shared memory (:class:`~repro.vector.shm.
+        SharedMotionColumns`) so workers read rows without pickling,
+        and :meth:`query_batch` fans per-shard sub-batches over the
+        pool.  ``workers=0`` (default) keeps the in-process path —
+        pooled answers are byte-identical to it by construction
+        (same :func:`~repro.vector.evaluate.evaluate_arrays`
+        dispatch either way).
     """
 
     def __init__(
@@ -117,6 +142,8 @@ class ShardedMotionService:
         metrics: Optional[MetricsRegistry] = None,
         cache_capacity: int = 1024,
         cache_clock_bucket: Optional[float] = None,
+        workers: int = 0,
+        pool: Optional["WorkerPool"] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
@@ -136,6 +163,30 @@ class ShardedMotionService:
                 )
             self.router = factory(shards, v_max)
         self.metrics = metrics or MetricsRegistry()
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self._pool: Optional["WorkerPool"] = None
+        self._owns_pool = False
+        if pool is not None:
+            self._pool = pool
+        elif workers > 0:
+            from repro.service.parallel import WorkerPool
+
+            self._pool = WorkerPool(workers)
+            self._owns_pool = True
+        columns_factory = None
+        if self._pool is not None:
+            # Shard mirrors move into shared memory so pool workers
+            # can attach them by name; contract and answers are
+            # unchanged (SharedMotionColumns is a MotionColumns).
+            from repro.vector import HAVE_NUMPY, SharedMotionColumns
+
+            if not HAVE_NUMPY:
+                raise RuntimeError(
+                    "the worker-process tier needs numpy (shared-memory "
+                    "columns); construct with workers=0 instead"
+                )
+            columns_factory = SharedMotionColumns
         self._db_params = {
             "y_max": y_max,
             "v_min": v_min,
@@ -143,6 +194,7 @@ class ShardedMotionService:
             "method": method,
             "index_factory": index_factory,
             "keep_history": keep_history,
+            "columns_factory": columns_factory,
         }
         self._shards: List[MotionDatabase] = [
             self._build_database() for _ in range(shards)
@@ -181,9 +233,25 @@ class ShardedMotionService:
             method=self._db_params["method"],
             index_factory=self._db_params["index_factory"],
             keep_history=self._db_params["keep_history"],
+            columns_factory=self._db_params["columns_factory"],
         )
         db.attach_io_listener(self.metrics.live_io)
         return db
+
+    @staticmethod
+    def _retire_database(db: Optional[MotionDatabase]) -> None:
+        """Release a replaced shard database's shared-memory segments.
+
+        A no-op for plain in-process mirrors; for shared columns this
+        unlinks eagerly instead of waiting for GC/atexit, so crash
+        drills that rebuild shards repeatedly don't pile up segments.
+        """
+        if db is None:
+            return
+        columns = getattr(db, "columns", None)
+        close = getattr(columns, "close", None)
+        if close is not None:
+            close()
 
     # -- introspection ---------------------------------------------------------
 
@@ -1038,6 +1106,80 @@ class ShardedMotionService:
                         results[slot] = copy_result(value)
             return results
 
+    def _inline_shard_answers(self, s: int, batch: List[QueryOp], span) -> List:
+        """One shard's sub-batch on the in-process path (under its lock)."""
+        shard = self._shards[s]
+        with self._locks[s]:
+            before = shard.io_snapshot()
+            start = time.perf_counter()
+            answers = shard.query_batch(batch)
+            self.metrics.record_shard_latency(
+                s, "query_batch.compute", time.perf_counter() - start
+            )
+            span.add_shard_io(s, shard.io_delta_since(before))
+        return answers
+
+    def _handle_worker_death(self, shards: List[int]) -> bool:
+        """Policy hook for pool-worker failure.
+
+        Returns ``True`` to recompute the lost shards inline (the
+        plain service: answers stay complete, just slower this batch).
+        The fault-tolerant subclass overrides this to route the dead
+        lanes through its ``kill_shard`` / degraded-result machinery
+        instead.  Either way the pool has already respawned the
+        worker, so the next batch runs at full width.
+        """
+        self.metrics.counter("parallel_worker_deaths").increment(len(shards))
+        self.metrics.counter("parallel_inline_fallbacks").increment(
+            len(shards)
+        )
+        return True
+
+    def _per_shard_answers(self, batch: List[QueryOp], span) -> List[List]:
+        """Each shard's answers to ``batch``: pooled when possible.
+
+        With a worker pool, every shard whose mirror is a shared
+        segment is dispatched as one pool task (the worker snapshots
+        the segment under its seqlock and runs the same
+        ``evaluate_arrays`` dispatch as the inline leg); the rest —
+        and any lane lost to a worker death, when
+        :meth:`_handle_worker_death` says so — are computed inline
+        under the shard lock.  ``workers=0`` is exactly the old
+        sequential loop.
+        """
+        n = len(self._shards)
+        per_shard: List[Optional[List]] = [None] * n
+        tasks = []
+        if self._pool is not None:
+            for s in range(n):
+                name = getattr(
+                    self._shards[s].columns, "segment_name", None
+                )
+                if name is not None:
+                    tasks.append((s, name, batch))
+        if tasks:
+            self.metrics.counter("parallel_tasks").increment(len(tasks))
+            try:
+                answers, elapsed = self._pool.query_shards(tasks)
+            except WorkerCrashError as exc:
+                answers, elapsed = exc.partial, {}
+                if not self._handle_worker_death(exc.shards):
+                    # Placeholder answers: the fault-tolerant caller
+                    # has marked these shards down and will discard
+                    # the whole batch for its degraded path.
+                    for s in exc.shards:
+                        answers[s] = [_empty_answer(op) for op in batch]
+            for s, shard_answers in answers.items():
+                per_shard[s] = shard_answers
+                if s in elapsed:
+                    self.metrics.record_shard_latency(
+                        s, "query_batch.compute", elapsed[s]
+                    )
+        for s in range(n):
+            if per_shard[s] is None:
+                per_shard[s] = self._inline_shard_answers(s, batch, span)
+        return per_shard
+
     def _compute_batch(self, ops: List[QueryOp], span) -> List:
         """Evaluate cache-missed operations: shard push-down + merge."""
         results: List = [None] * len(ops)
@@ -1048,12 +1190,7 @@ class ShardedMotionService:
         ]
         if shardable:
             batch = [op for _, op in shardable]
-            per_shard: List[List] = []
-            for s, shard in enumerate(self._shards):
-                with self._locks[s]:
-                    before = shard.io_snapshot()
-                    per_shard.append(shard.query_batch(batch))
-                    span.add_shard_io(s, shard.io_delta_since(before))
+            per_shard = self._per_shard_answers(batch, span)
             for j, (slot, op) in enumerate(shardable):
                 if isinstance(op, Nearest):
                     # Keyed merge: replicas (the fault-tolerant
@@ -1083,6 +1220,34 @@ class ShardedMotionService:
         for i, shard in enumerate(self._shards):
             with self._locks[i]:
                 shard.clear_buffers()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The worker-process pool (``None`` on the in-process path)."""
+        return self._pool
+
+    @property
+    def parallel_workers(self) -> int:
+        """Pool width (0 on the in-process path)."""
+        return self._pool.size if self._pool is not None else 0
+
+    def close(self) -> None:
+        """Release parallel-tier resources.
+
+        Stops the worker pool if this service spawned it (a shared
+        pool passed in by the caller is left running) and unlinks
+        every shard's shared-memory segments.  Idempotent; a no-op for
+        a ``workers=0`` service.  The service must not be used after
+        close when the parallel tier was active — the shard mirrors'
+        buffers are gone.
+        """
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+        self._pool = None
+        for db in self._shards:
+            self._retire_database(db)
 
     def service_stats(self) -> Dict[str, object]:
         """One self-describing snapshot of the whole service.

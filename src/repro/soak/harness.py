@@ -109,11 +109,17 @@ class SoakConfig:
     #: is computed from the per-op outcome list, so at size 1 the two
     #: paths must produce byte-identical trace digests.
     write_batch_size: int = 1
+    #: Worker-process pool width for the service's parallel query
+    #: tier (0 keeps the in-process path; answers are identical
+    #: either way).
+    workers: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
             raise ValueError(f"need at least 1 thread, got {self.threads}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.write_batch_size < 1:
             raise ValueError(
                 f"write_batch_size must be >= 1, got {self.write_batch_size}"
@@ -303,6 +309,7 @@ def _build_service(config: SoakConfig, scenario: ScenarioStream,
         metrics=metrics,
         wal_dir=config.wal_dir,
         wal_fsync=config.fsync,
+        workers=config.workers,
         **scenario.model_params(),
     )
 

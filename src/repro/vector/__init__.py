@@ -5,8 +5,10 @@ structure-of-arrays mirror of the live population
 (:class:`MotionColumns`), whole-population kernels for the Hough-X
 wedge / Hough-Y b-range / snapshot / k-NN / proximity predicates
 (:mod:`repro.vector.kernels`), a shared batch-query vocabulary
-(:mod:`repro.vector.ops`), and a versioned memoizing result cache
-(:class:`QueryResultCache`).
+(:mod:`repro.vector.ops`), a versioned memoizing result cache
+(:class:`QueryResultCache`), and a shared-memory variant of the store
+(:class:`SharedMotionColumns`) whose rows worker processes can read
+without pickling (:mod:`repro.vector.shm`).
 
 The vocabulary and the cache are pure Python; the columnar store and
 kernels need ``numpy``.  When the array stack is unavailable the
@@ -26,11 +28,19 @@ from repro.vector.ops import (
 
 try:  # numpy-dependent fast path
     from repro.vector.columns import MotionColumns
-    from repro.vector.evaluate import evaluate_batch, evaluate_query
+    from repro.vector.evaluate import (
+        evaluate_arrays,
+        evaluate_batch,
+        evaluate_query,
+    )
+    from repro.vector.shm import SharedMotionColumns, TornSegmentError
 
     HAVE_NUMPY = True
 except ImportError:  # pragma: no cover - exercised only without numpy
     MotionColumns = None  # type: ignore[assignment]
+    SharedMotionColumns = None  # type: ignore[assignment]
+    TornSegmentError = None  # type: ignore[assignment]
+    evaluate_arrays = None  # type: ignore[assignment]
     evaluate_batch = None  # type: ignore[assignment]
     evaluate_query = None  # type: ignore[assignment]
     HAVE_NUMPY = False
@@ -42,8 +52,11 @@ __all__ = [
     "ProximityPairs",
     "QueryOp",
     "QueryResultCache",
+    "SharedMotionColumns",
     "SnapshotAt",
+    "TornSegmentError",
     "Within",
+    "evaluate_arrays",
     "evaluate_batch",
     "evaluate_query",
     "query_key",

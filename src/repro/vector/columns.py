@@ -65,6 +65,11 @@ class MotionColumns:
     def __len__(self) -> int:
         return self._n
 
+    @property
+    def capacity(self) -> int:
+        """Allocated rows (live rows are ``len(self)``)."""
+        return self._oid.shape[0]
+
     def __contains__(self, oid: int) -> bool:
         return oid in self._slots
 
@@ -93,8 +98,25 @@ class MotionColumns:
 
     # -- mutation -------------------------------------------------------------
 
-    def _grow(self) -> None:
-        capacity = 2 * self._oid.shape[0]
+    def _next_capacity(self, needed: int) -> int:
+        """Capacity-doubling growth policy, rebased on live size.
+
+        The new capacity is ``2 * needed`` — twice the row count the
+        caller actually requires — never a multiple of the *old
+        allocation*.  Doubling from the requirement keeps appends
+        amortized O(1) (``needed`` is always past the old capacity
+        when this is consulted, so the allocation at least doubles)
+        while a store that churned through a population spike re-grows
+        proportionally to its current population, not its historical
+        peak.
+        """
+        return max(_MIN_CAPACITY, 2 * needed)
+
+    def _grow(self, needed: Optional[int] = None) -> None:
+        """Reallocate the buffers so at least ``needed`` rows fit."""
+        if needed is None:
+            needed = self._n + 1
+        capacity = self._next_capacity(needed)
         for name in ("_oid", "_y0", "_v", "_t0"):
             old = getattr(self, name)
             fresh = np.empty(capacity, dtype=old.dtype)
@@ -138,11 +160,11 @@ class MotionColumns:
         self.version += 1
 
     def _reserve(self, extra: int) -> None:
-        """Grow the buffers (doubling) until ``extra`` rows fit."""
-        capacity = self._oid.shape[0]
-        while self._n + extra > capacity:
-            self._grow()
-            capacity = self._oid.shape[0]
+        """Grow the buffers (one doubling allocation) so ``extra``
+        additional rows fit."""
+        needed = self._n + extra
+        if needed > self._oid.shape[0]:
+            self._grow(needed)
 
     def apply_events(
         self, events: List[Tuple[str, int, Optional[LinearMotion1D]]]

@@ -8,6 +8,12 @@ the scalar API — ``set`` of python ints for range queries, ranked
 ``[(oid, distance), ...]`` for k-NN, a ``set`` of unordered int pairs
 for proximity — so callers (and the differential harness) can compare
 them to the scalar answers with plain ``==``.
+
+:func:`evaluate_arrays` is the same dispatch over bare arrays — the
+form worker processes use after snapshotting a shared-memory segment
+(:mod:`repro.vector.shm`), so the in-process and cross-process paths
+run literally the same code on the same dtypes and stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -33,9 +39,19 @@ def _oids_from_mask(oid: np.ndarray, mask: np.ndarray) -> Set[int]:
     return {int(x) for x in oid[mask]}
 
 
-def evaluate_query(columns: MotionColumns, op: QueryOp):
-    """Answer one query operation against the columnar mirror."""
-    oid, y0, v, t0 = columns.arrays()
+def evaluate_arrays(
+    oid: np.ndarray,
+    y0: np.ndarray,
+    v: np.ndarray,
+    t0: np.ndarray,
+    op: QueryOp,
+):
+    """Answer one query operation against bare ``(oid, y0, v, t0)`` rows.
+
+    The single kernel-dispatch routine shared by the in-process path
+    (:func:`evaluate_query`) and the worker processes, which is what
+    makes the ``workers=0`` and pooled answers byte-identical.
+    """
     if isinstance(op, Within):
         query = MORQuery1D(op.y1, op.y2, op.t1, op.t2)
         return _oids_from_mask(oid, mor_mask(y0, v, t0, query))
@@ -56,6 +72,12 @@ def evaluate_query(columns: MotionColumns, op: QueryOp):
             raise InvalidQueryError(f"empty window [{op.t1}, {op.t2}]")
         return proximity_pairs_blocked(oid, y0, v, t0, op.d, op.t1, op.t2)
     raise TypeError(f"unknown query operation {op!r}")
+
+
+def evaluate_query(columns: MotionColumns, op: QueryOp):
+    """Answer one query operation against the columnar mirror."""
+    oid, y0, v, t0 = columns.arrays()
+    return evaluate_arrays(oid, y0, v, t0, op)
 
 
 def evaluate_batch(

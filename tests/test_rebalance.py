@@ -231,6 +231,71 @@ def test_rebalance_respects_gates_and_caps():
     assert report.migrated + report.aborted + report.skipped <= 5
 
 
+def test_latency_skew_detector_needs_two_reporting_shards():
+    service = make_service(shards=4)
+    populate_skewed(service, 100, seed=4)
+    controller = RebalanceController(service)
+    # No compute spans at all, then only one shard reporting: both are
+    # "no evidence", not "infinitely skewed".
+    assert controller.latency_skew() == 0.0
+    service.metrics.record_shard_latency(0, "query_batch.compute", 0.1)
+    assert controller.latency_skew() == 0.0
+    service.metrics.record_shard_latency(1, "query_batch.compute", 0.1)
+    assert controller.latency_skew() == pytest.approx(1.0)
+
+
+def test_latency_skew_trips_should_rebalance_when_counts_are_even():
+    service = make_service(shards=4)
+    rng = random.Random(5)
+    # A perfectly even placement: the count detector sees nothing.
+    for oid in range(200):
+        v = V_MIN + (V_MAX - V_MIN) * ((oid % 4) + 0.5) / 4
+        service.register(oid, rng.uniform(0, Y_MAX), v, 0.0)
+    controller = RebalanceController(
+        service,
+        RebalanceConfig(skew_threshold=1.5, latency_skew_threshold=2.0),
+    )
+    assert controller.skew() == pytest.approx(1.0)
+    assert not controller.should_rebalance()
+    # One slow lane: cost imbalance the counts cannot see.
+    for shard in range(4):
+        latency = 0.200 if shard == 0 else 0.010
+        for _ in range(10):
+            service.metrics.record_shard_latency(
+                shard, "query_batch.compute", latency
+            )
+    assert controller.latency_skew() > 2.0
+    assert controller.should_rebalance()
+    report = controller.maybe_rebalance()
+    assert report is not None
+    counters = service.metrics.snapshot()["counters"]
+    assert counters["rebalance_auto_triggers"] == 1
+    assert counters["rebalance_runs"] == 1
+
+
+def test_maybe_rebalance_is_a_no_op_when_balanced():
+    service = make_service(shards=4)
+    rng = random.Random(6)
+    for oid in range(100):
+        service.register(
+            oid,
+            rng.uniform(0, Y_MAX),
+            rng.uniform(V_MIN, V_MAX),
+            0.0,
+        )
+    controller = RebalanceController(service)
+    # Balanced latencies: the gate stays shut, no run is charged.
+    for shard in range(4):
+        service.metrics.record_shard_latency(
+            shard, "query_batch.compute", 0.01
+        )
+    if not controller.should_rebalance():
+        assert controller.maybe_rebalance() is None
+        counters = service.metrics.snapshot()["counters"]
+        assert counters.get("rebalance_auto_triggers", 0) == 0
+        assert counters.get("rebalance_runs", 0) == 0
+
+
 def test_replicated_rebalance_matches_oracle():
     service = FaultTolerantMotionService(
         Y_MAX, V_MIN, V_MAX,

@@ -86,6 +86,26 @@ class TestRegistry:
         assert summary["calls"] == 800
         assert summary["reads"] == 800
 
+    def test_shard_latency_spans_and_percentiles(self):
+        registry = MetricsRegistry()
+        for latency in (0.010, 0.020, 0.030):
+            registry.record_shard_latency(0, "query_batch.compute", latency)
+        registry.record_shard_latency(2, "query_batch.compute", 0.100)
+        p99 = registry.shard_latency_percentile("query_batch.compute", 99.0)
+        # Only shards with samples report — no zero-filled phantoms
+        # to drag the rebalance detector's mean down.
+        assert set(p99) == {0, 2}
+        assert p99[2] >= p99[0] > 0.0
+        p50 = registry.shard_latency_percentile("query_batch.compute", 50.0)
+        assert p50[0] <= p99[0]
+        assert registry.shard_latency_percentile("no.such.op", 99.0) == {}
+        # The latency record books no I/O: a shard that only ever
+        # reported compute spans shows clean read/write counts.
+        snapshot = registry.snapshot()
+        compute = snapshot["shards"][0]["query_batch.compute"]
+        assert compute["calls"] == 3
+        assert compute["reads"] == 0 and compute["writes"] == 0
+
 
 class TestIOStatsListener:
     def test_listener_mirrors_every_touch(self):
